@@ -1,0 +1,106 @@
+"""E7 — Section 4: code coverage, an RTL-only metric.
+
+"The code coverage ... can be applied only in the RTL verification since
+no tool is able to generate this metrics for SystemC.  The code coverage
+metrics we use are line, branch and statement coverage.  Our goal ... is
+... 100% of justified code for the line coverage, while in general we
+accept less for the others."
+
+Regenerated table: line/branch/statement coverage of the RTL node under
+the full twelve-test suite, the asymmetry (BCA run yields no code
+coverage), and the suite-size ablation (more tests -> more code covered).
+"""
+
+import os
+
+import pytest
+
+from repro.catg import CodeCoverage, run_test
+from repro.regression.testcases import TESTCASES, build_test
+from repro.stbus import ArbitrationPolicy, NodeConfig, ProtocolType
+
+
+def full_suite_code_coverage():
+    # Two configurations so both protocol types and the programming port
+    # exercise their RTL branches ("justified code").
+    configs = [
+        NodeConfig(n_initiators=3, n_targets=2,
+                   protocol_type=ProtocolType.T3,
+                   arbitration=ArbitrationPolicy.LRU, name="cc-t3"),
+        NodeConfig(n_initiators=3, n_targets=2, pipe_depth=2,
+                   arbitration=ArbitrationPolicy.PROGRAMMABLE_PRIORITY,
+                   has_programming_port=True, name="cc-prog"),
+    ]
+    with CodeCoverage() as tracer:
+        for config in configs:
+            for name in TESTCASES:
+                result = run_test(config, build_test(name, config, 1))
+                assert result.passed
+    return tracer.report()
+
+
+def test_e7_rtl_line_branch_statement_coverage(benchmark):
+    report = benchmark.pedantic(full_suite_code_coverage, rounds=1,
+                                iterations=1)
+    print()
+    print(report.render())
+    node = next(cov for path, cov in report.files.items()
+                if path.endswith("node.py"))
+    print(f"[E7] paper: goal 100% justified line coverage on RTL; "
+          "lower accepted for branch/statement")
+    print(f"[E7] ours (rtl/node.py): line {node.line_percent:.1f}%, "
+          f"branch {node.branch_percent:.1f}%, "
+          f"statement {node.statement_percent:.1f}%")
+    benchmark.extra_info["node_line_percent"] = node.line_percent
+    # The suite must exercise the node thoroughly; the remaining lines are
+    # the "justified" ones (defensive paths the clean harness can't hit).
+    assert node.line_percent > 85.0
+    assert node.branch_percent > 60.0
+    assert node.statement_percent > 85.0
+
+
+def test_e7_bca_view_reports_no_code_coverage(benchmark):
+    """The paper's asymmetry: no code-coverage tool for the (SystemC)
+    BCA model; our tracer is scoped to the RTL sources the same way."""
+
+    def bca_run():
+        config = NodeConfig(n_initiators=2, n_targets=2, name="cc-bca")
+        with CodeCoverage() as tracer:
+            run_test(config, build_test("t02_random_uniform", config, 1),
+                     view="bca")
+        return tracer.report()
+
+    report = benchmark.pedantic(bca_run, rounds=1, iterations=1)
+    print(f"\n[E7] BCA run traced {len(report.files)} RTL files "
+          "(expected 0 — code coverage is RTL-only)")
+    assert not report.files
+
+
+def test_e7_more_tests_cover_more_code(benchmark):
+    """Ablation: the directed bring-up test alone exercises much less of
+    the RTL than the random suite — the coverage argument for CATG."""
+
+    def ablation():
+        config = NodeConfig(n_initiators=3, n_targets=2,
+                            arbitration=ArbitrationPolicy.LRU,
+                            protocol_type=ProtocolType.T3, name="cc-abl")
+        points = []
+        for suite in (["t01_sanity_write_read"],
+                      ["t01_sanity_write_read", "t02_random_uniform"],
+                      list(TESTCASES)):
+            with CodeCoverage() as tracer:
+                for name in suite:
+                    run_test(config, build_test(name, config, 1))
+            report = tracer.report()
+            node = next(c for p, c in report.files.items()
+                        if p.endswith("node.py"))
+            points.append((len(suite), node.line_percent))
+        return points
+
+    points = benchmark.pedantic(ablation, rounds=1, iterations=1)
+    print()
+    for n_tests, percent in points:
+        print(f"[E7] {n_tests:2d} test(s): {percent:5.1f}% of rtl/node.py lines")
+    percents = [p for _, p in points]
+    assert percents[0] < percents[-1]
+    assert percents == sorted(percents)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""The Section 5 experiment: five BCA bugs, old flow vs common environment.
+
+"The verification environment permitted to find five bugs on BCA models,
+not found using old environment of the past flow."
+
+For each seeded BCA bug this script runs
+
+* the **past flow** — single-initiator directed write-then-read with the
+  read-back check only, and
+* the **common environment** — the twelve seeded test cases with random
+  traffic, protocol checkers, scoreboard, arbitration reference checker,
+
+and prints the detection table.  Expected shape: old flow 0/5, common
+environment 5/5, each bug caught by its designed mechanism.
+
+Run:  python examples/bug_hunt.py
+"""
+
+from repro import (
+    ArbitrationPolicy,
+    BUG_CATALOG,
+    ALL_BUGS,
+    NodeConfig,
+    TESTCASES,
+    build_test,
+    run_past_flow,
+    run_test,
+)
+
+
+def hunt_configs():
+    """Configurations that can expose every bug (LRU + programmable
+    arbitration, 6 initiators so the truncated source tag aliases)."""
+    return [
+        NodeConfig(n_initiators=6, n_targets=2,
+                   arbitration=ArbitrationPolicy.LRU,
+                   has_programming_port=True, name="hunt-lru"),
+        NodeConfig(n_initiators=6, n_targets=2,
+                   arbitration=ArbitrationPolicy.PROGRAMMABLE_PRIORITY,
+                   has_programming_port=True, name="hunt-prog"),
+    ]
+
+
+def common_env_detects(bug: str):
+    """Run the suite until some test fails; report (found, test, rules)."""
+    for config in hunt_configs():
+        for name in TESTCASES:
+            result = run_test(config, build_test(name, config, seed=1),
+                              view="bca", bugs={bug})
+            if not result.passed:
+                return True, name, sorted(result.report.rules_hit())
+    return False, None, []
+
+
+def main() -> None:
+    print(f"{'bug':<30} {'past flow':<12} {'common env':<12} "
+          f"first failing test / rules")
+    print("-" * 100)
+    old_found = 0
+    new_found = 0
+    for bug in ALL_BUGS:
+        old = run_past_flow(hunt_configs()[0], view="bca", bugs={bug})
+        old_verdict = "FAIL (found)" if not old.passed else "pass (miss)"
+        old_found += 0 if old.passed else 1
+        found, test, rules = common_env_detects(bug)
+        new_found += int(found)
+        new_verdict = "FOUND" if found else "missed"
+        detail = f"{test}: {', '.join(rules[:4])}" if found else "-"
+        print(f"{bug:<30} {old_verdict:<12} {new_verdict:<12} {detail}")
+    print("-" * 100)
+    print(f"past flow found {old_found}/5 bugs; "
+          f"common environment found {new_found}/5 bugs")
+    print("\nBug catalog (what each bug is and why the old flow is blind):")
+    for bug in ALL_BUGS:
+        info = BUG_CATALOG[bug]
+        print(f"  {info.name}")
+        print(f"    what:     {info.description}")
+        print(f"    caught by: {info.caught_by}")
+        print(f"    old flow: {info.why_old_flow_misses}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Building custom hierarchical interconnects with repro.fabric.
+
+Where ``examples/interconnect.py`` wires Figure 1 by hand to show every
+component, this example uses the declarative :class:`~repro.fabric.FabricSpec`
+builder — the way a downstream user would assemble "a hierarchical
+communication network composed of more than one router" (Section 3) — and
+then checks the two design views of the *whole network* against each
+other, exactly as the flow does for a single node.
+
+Topology: a two-level tree.
+
+    cpu0, cpu1 ──► Node L0 (T2) ──► local memory
+                         │
+                   t2/t3 converter
+                         │
+    dsp64 ─ 64/32 ─► Node L1 (T3) ──► dram (slow memory)
+                                  └──► control registers
+
+Run:  python examples/custom_topology.py
+"""
+
+from repro.fabric import FabricSpec
+from repro.stbus import (
+    AddressMap,
+    NodeConfig,
+    Opcode,
+    ProtocolType,
+    Region,
+    Transaction,
+    response_data_from_cells,
+)
+
+SRAM = 0x0000   # behind node L0
+DRAM = 0x4000   # behind node L1
+CSRS = 0x8000   # control/status registers behind node L1
+
+
+def build_spec() -> FabricSpec:
+    spec = FabricSpec()
+    spec.master("cpu0", width=32)
+    spec.master("cpu1", width=32)
+    spec.master("dsp64", width=64)
+    spec.node("L0", NodeConfig(
+        name="L0", protocol_type=ProtocolType.T2,
+        n_initiators=2, n_targets=2,
+        address_map=AddressMap([
+            Region(SRAM, 0x1000, 0),
+            Region(DRAM, 0x4100, 1),   # everything remote
+        ]),
+    ))
+    spec.node("L1", NodeConfig(
+        name="L1", protocol_type=ProtocolType.T3,
+        n_initiators=2, n_targets=2,
+        address_map=AddressMap([
+            Region(DRAM, 0x1000, 0),
+            Region(CSRS, 0x100, 1),
+        ]),
+    ))
+    spec.memory("sram", latency=1)
+    spec.memory("dram", latency=12)
+    spec.register_decoder("csrs", n_regs=32)
+    spec.size_converter("dsp_bridge", ProtocolType.T3)
+    spec.type_converter("uplink", ProtocolType.T2, ProtocolType.T3)
+    spec.connect("cpu0", ("L0", "init", 0))
+    spec.connect("cpu1", ("L0", "init", 1))
+    spec.connect(("L0", "targ", 0), "sram")
+    spec.connect(("L0", "targ", 1), ("uplink", "up"))
+    spec.connect(("uplink", "down"), ("L1", "init", 0))
+    spec.connect("dsp64", ("dsp_bridge", "up"))
+    spec.connect(("dsp_bridge", "down"), ("L1", "init", 1))
+    spec.connect(("L1", "targ", 0), "dram")
+    spec.connect(("L1", "targ", 1), "csrs")
+    return spec
+
+
+def load_traffic(fabric) -> None:
+    fabric.masters["cpu0"].load_program([
+        (Transaction(Opcode.store(4), SRAM + 0x20, data=b"\x11\x22\x33\x44"), 0),
+        (Transaction(Opcode.load(4), SRAM + 0x20), 0),
+        (Transaction(Opcode.store(16), DRAM + 0x100, data=bytes(range(16))), 0),
+        (Transaction(Opcode.load(16), DRAM + 0x100), 0),
+    ])
+    fabric.masters["cpu1"].load_program([
+        (Transaction(Opcode.load(8), SRAM + 0x40), 1)
+        for _ in range(3)
+    ])
+    fabric.masters["dsp64"].load_program([
+        (Transaction(Opcode.store(4), CSRS + 0x10, data=b"\x01\x00\x00\x00"), 0),
+        (Transaction(Opcode.load(4), CSRS + 0x10), 0),
+        (Transaction(Opcode.load(16), DRAM + 0x100), 2),
+    ])
+
+
+def main() -> None:
+    spec = build_spec()
+    spec.validate()
+    print("fabric validated: "
+          f"{len(spec._nodes)} nodes, {len(spec._bridges)} converters, "
+          f"{len(spec._masters)} masters, "
+          f"{len(spec._memories) + len(spec._registers)} leaves\n")
+
+    traces = {}
+    for view in ("rtl", "bca"):
+        fabric = spec.build(view=view)
+        load_traffic(fabric)
+        cycles = fabric.run_until_drained()
+        cpu0 = fabric.masters["cpu0"]
+        dram_read = response_data_from_cells(
+            cpu0.response_packets[3], Opcode.load(16), 4,
+            address=DRAM + 0x100)
+        assert dram_read == bytes(range(16))
+        csr = fabric.registers["csrs"].read_register(4)
+        assert csr == b"\x01\x00\x00\x00"
+        print(f"[{view}] drained in {cycles} cycles; "
+              f"cpu0 remote read {dram_read[:4].hex()}..., "
+              f"csr[4]={csr.hex()}")
+        # Record the pin trace for the cross-view comparison.
+        fabric2 = spec.build(view=view)
+        load_traffic(fabric2)
+        fabric2.elaborate()
+        signals = fabric2.all_port_signals()
+        rows = []
+        for _ in range(400):
+            fabric2.sim.step()
+            rows.append(tuple(s.value for s in signals))
+        traces[view] = rows
+
+    aligned = sum(1 for a, b in zip(traces["rtl"], traces["bca"]) if a == b)
+    rate = aligned / len(traces["rtl"])
+    print(f"\nwhole-network RTL/BCA alignment: {rate * 100:.2f}% "
+          f"over {len(traces['rtl'])} cycles")
+    assert rate >= 0.99
+    print("custom topology verified in both views")
+
+
+if __name__ == "__main__":
+    main()

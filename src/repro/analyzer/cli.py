@@ -1,0 +1,76 @@
+"""Command-line front-end for the STBus Analyzer.
+
+Usage::
+
+    python -m repro.analyzer RTL.vcd BCA.vcd [--threshold 0.99]
+                                             [--diff] [--ports SCOPE ...]
+
+Prints the per-port alignment table (and optionally the transaction-level
+diff) for two dumps of the same test; exit status 0 means the BCA dump
+signs off at the threshold on every port.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .align import SIGNOFF_THRESHOLD, compare_vcds
+from .diff import diff_transactions
+from .extract import ExtractionError
+from .waveview import render_divergence
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.analyzer",
+        description="STBus Analyzer: bus-accurate comparison of two VCD "
+                    "dumps (RTL vs BCA run of the same seeded test).",
+    )
+    parser.add_argument("rtl_vcd", help="VCD of the reference (RTL) run")
+    parser.add_argument("bca_vcd", help="VCD of the compared (BCA) run")
+    parser.add_argument(
+        "--threshold", type=float, default=SIGNOFF_THRESHOLD,
+        help="per-port sign-off rate (default %(default)s)",
+    )
+    parser.add_argument(
+        "--ports", nargs="*", default=None,
+        help="restrict the comparison to these port scopes",
+    )
+    parser.add_argument(
+        "--diff", action="store_true",
+        help="also print the transaction-level diff",
+    )
+    parser.add_argument(
+        "--wave", action="store_true",
+        help="render a text waveform around each port's first divergence",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if not 0.0 < args.threshold <= 1.0:
+        print("error: threshold must be in (0, 1]", file=sys.stderr)
+        return 2
+    try:
+        report = compare_vcds(args.rtl_vcd, args.bca_vcd, scopes=args.ports)
+    except (ExtractionError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render(), end="")
+    if args.diff:
+        diff = diff_transactions(args.rtl_vcd, args.bca_vcd,
+                                 scopes=args.ports)
+        print(diff.render(), end="")
+    if args.wave:
+        for name in sorted(report.ports):
+            wave = render_divergence(args.rtl_vcd, args.bca_vcd,
+                                     report.ports[name])
+            if wave:
+                print(wave, end="")
+    signed_off = all(p.rate >= args.threshold for p in report.ports.values())
+    print(f"verdict: {'SIGNED OFF' if signed_off else 'NOT SIGNED OFF'} "
+          f"(threshold {args.threshold * 100:.0f}% per port)")
+    return 0 if signed_off else 1

@@ -1,0 +1,128 @@
+"""Transaction-level diffing between two dumps.
+
+Beyond the cycle alignment rate, STBA "extracts from VCD files ... STBus
+transaction information"; diffing the *packet streams* tells an engineer
+whether a misalignment is a pure timing skew (same packets, shifted
+cycles) or a functional divergence (different packets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..vcd import VcdFile, parse_vcd
+from .extract import PortTraffic, discover_ports, extract_all
+
+
+@dataclass
+class PortDiff:
+    """Packet-stream comparison for one port."""
+
+    port: str
+    matching_requests: int
+    matching_responses: int
+    total_requests_a: int
+    total_requests_b: int
+    total_responses_a: int
+    total_responses_b: int
+    #: index of the first request packet whose content differs (None = all
+    #: common-prefix packets identical)
+    first_request_mismatch: Optional[int] = None
+    first_response_mismatch: Optional[int] = None
+    #: True when packet contents agree and only their cycles differ
+    timing_only: bool = False
+
+    @property
+    def functionally_equal(self) -> bool:
+        return (
+            self.first_request_mismatch is None
+            and self.first_response_mismatch is None
+            and self.total_requests_a == self.total_requests_b
+            and self.total_responses_a == self.total_responses_b
+        )
+
+    def summary(self) -> str:
+        if self.functionally_equal:
+            kind = "identical" if not self.timing_only else "timing-skew only"
+            return (f"{self.port}: {kind} "
+                    f"({self.total_requests_a} req / "
+                    f"{self.total_responses_a} resp packets)")
+        return (
+            f"{self.port}: DIVERGES (req {self.total_requests_a} vs "
+            f"{self.total_requests_b}, first mismatch "
+            f"{self.first_request_mismatch}; resp {self.total_responses_a} "
+            f"vs {self.total_responses_b}, first mismatch "
+            f"{self.first_response_mismatch})"
+        )
+
+
+@dataclass
+class TransactionDiff:
+    """All-port transaction diff between two runs."""
+
+    ports: Dict[str, PortDiff] = field(default_factory=dict)
+
+    @property
+    def functionally_equal(self) -> bool:
+        return all(p.functionally_equal for p in self.ports.values())
+
+    def render(self) -> str:
+        lines = ["Transaction-level diff:"]
+        for name in sorted(self.ports):
+            lines.append("  " + self.ports[name].summary())
+        return "\n".join(lines) + "\n"
+
+
+def _diff_port(a: PortTraffic, b: PortTraffic) -> PortDiff:
+    first_req = None
+    match_req = 0
+    for idx, (pa, pb) in enumerate(zip(a.requests, b.requests)):
+        if [c.key_fields() for c in pa.cells] == \
+                [c.key_fields() for c in pb.cells]:
+            match_req += 1
+        elif first_req is None:
+            first_req = idx
+    first_resp = None
+    match_resp = 0
+    for idx, (pa, pb) in enumerate(zip(a.responses, b.responses)):
+        if [c.key_fields() for c in pa.cells] == \
+                [c.key_fields() for c in pb.cells]:
+            match_resp += 1
+        elif first_resp is None:
+            first_resp = idx
+    timing_only = (
+        first_req is None and first_resp is None
+        and len(a.requests) == len(b.requests)
+        and len(a.responses) == len(b.responses)
+        and any(
+            pa.start_cycle != pb.start_cycle
+            for pa, pb in zip(a.requests, b.requests)
+        )
+    )
+    return PortDiff(
+        a.port, match_req, match_resp,
+        len(a.requests), len(b.requests),
+        len(a.responses), len(b.responses),
+        first_req, first_resp, timing_only,
+    )
+
+
+def diff_transactions(
+    a: Union[str, VcdFile],
+    b: Union[str, VcdFile],
+    scopes: Optional[Sequence[str]] = None,
+) -> TransactionDiff:
+    """Extract and diff the packet streams of two dumps."""
+    vcd_a = parse_vcd(a) if isinstance(a, str) else a
+    vcd_b = parse_vcd(b) if isinstance(b, str) else b
+    if scopes is None:
+        scopes = sorted(
+            set(discover_ports(vcd_a)) & set(discover_ports(vcd_b))
+        )
+    traffic_a = extract_all(vcd_a, scopes)
+    traffic_b = extract_all(vcd_b, scopes)
+    diff = TransactionDiff()
+    for scope in scopes:
+        diff.ports[scope] = _diff_port(traffic_a[scope], traffic_b[scope])
+    return diff

@@ -1,0 +1,145 @@
+"""Offline transaction extraction from VCD dumps.
+
+"[STBA] is automatically called by the regression tool and it extracts
+from VCD files, got after regression tests, STBus transaction
+information."  This module replays the sampled per-cycle values of a port
+scope and reassembles the same packets an online monitor would have seen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..stbus import Cell, RespCell
+from ..vcd import VcdFile
+
+#: Signals that make up a Type II/III port scope in the VCD.
+PORT_SIGNALS = (
+    "req", "gnt", "add", "opc", "data", "be", "eop", "lck", "tid", "src",
+    "pri", "r_req", "r_gnt", "r_opc", "r_data", "r_eop", "r_src", "r_tid",
+)
+
+
+class ExtractionError(ValueError):
+    """The VCD does not contain the expected port scope."""
+
+
+def discover_ports(vcd: VcdFile) -> List[str]:
+    """Scopes that look like STBus ports (have req/gnt/r_req signals)."""
+    scopes: Dict[str, set] = {}
+    for name in vcd.names():
+        scope, _, leaf = name.rpartition(".")
+        scopes.setdefault(scope, set()).add(leaf)
+    return sorted(
+        scope for scope, leaves in scopes.items()
+        if {"req", "gnt", "r_req", "r_gnt"}.issubset(leaves)
+    )
+
+
+@dataclass
+class ExtractedPacket:
+    """A request packet recovered from a VCD."""
+
+    port: str
+    cells: List[Cell]
+    start_cycle: int
+    end_cycle: int
+
+
+@dataclass
+class ExtractedResponse:
+    """A response packet recovered from a VCD."""
+
+    port: str
+    cells: List[RespCell]
+    start_cycle: int
+    end_cycle: int
+
+
+@dataclass
+class PortTraffic:
+    """Everything extracted from one port of one dump."""
+
+    port: str
+    requests: List[ExtractedPacket]
+    responses: List[ExtractedResponse]
+    n_cycles: int
+
+    def summary(self) -> str:
+        return (
+            f"{self.port}: {len(self.requests)} request packets, "
+            f"{len(self.responses)} response packets over {self.n_cycles} "
+            "cycles"
+        )
+
+
+def _port_series(vcd: VcdFile, scope: str) -> Dict[str, List[int]]:
+    n = vcd.n_cycles
+    series = {}
+    for leaf in PORT_SIGNALS:
+        name = f"{scope}.{leaf}"
+        if name not in vcd:
+            raise ExtractionError(f"signal {name!r} missing from VCD")
+        series[leaf] = vcd[name].expand(n, vcd.timescale)
+    return series
+
+
+def extract_port(vcd: VcdFile, scope: str) -> PortTraffic:
+    """Rebuild the packet streams of one port from a parsed VCD."""
+    series = _port_series(vcd, scope)
+    n = vcd.n_cycles
+    requests: List[ExtractedPacket] = []
+    responses: List[ExtractedResponse] = []
+    req_cells: List[Cell] = []
+    req_start = 0
+    resp_cells: List[RespCell] = []
+    resp_start = 0
+    for cycle in range(n):
+        if series["req"][cycle] and series["gnt"][cycle]:
+            if not req_cells:
+                req_start = cycle
+            cell = Cell(
+                add=series["add"][cycle],
+                opc=series["opc"][cycle],
+                data=series["data"][cycle],
+                be=series["be"][cycle],
+                eop=series["eop"][cycle],
+                lck=series["lck"][cycle],
+                tid=series["tid"][cycle],
+                src=series["src"][cycle],
+                pri=series["pri"][cycle],
+            )
+            req_cells.append(cell)
+            if cell.eop:
+                requests.append(
+                    ExtractedPacket(scope, req_cells, req_start, cycle)
+                )
+                req_cells = []
+        if series["r_req"][cycle] and series["r_gnt"][cycle]:
+            if not resp_cells:
+                resp_start = cycle
+            cell = RespCell(
+                r_opc=series["r_opc"][cycle],
+                r_data=series["r_data"][cycle],
+                r_eop=series["r_eop"][cycle],
+                r_src=series["r_src"][cycle],
+                r_tid=series["r_tid"][cycle],
+            )
+            resp_cells.append(cell)
+            if cell.r_eop:
+                responses.append(
+                    ExtractedResponse(scope, resp_cells, resp_start, cycle)
+                )
+                resp_cells = []
+    return PortTraffic(scope, requests, responses, n)
+
+
+def extract_all(vcd: VcdFile, scopes: Optional[Sequence[str]] = None
+                ) -> Dict[str, PortTraffic]:
+    """Extract every (or the given) port of a dump."""
+    if scopes is None:
+        scopes = discover_ports(vcd)
+    if not scopes:
+        raise ExtractionError("no STBus port scopes found in VCD")
+    return {scope: extract_port(vcd, scope) for scope in scopes}

@@ -1,0 +1,90 @@
+"""Text waveform rendering — debugging aid for the alignment loop.
+
+When the bus-accurate comparison reports a low rate, the next step in the
+paper's flow is a human "fixing the BCA model".  This module renders the
+cycles around the first divergence of a port as a side-by-side text
+waveform, so the engineer sees *which signal* split *at which cycle*
+without opening a waveform viewer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..vcd import VcdFile, parse_vcd
+from .align import PortAlignment
+from .extract import PORT_SIGNALS, ExtractionError
+
+
+def _format_value(value: int, width_hint: int) -> str:
+    if width_hint <= 1:
+        return str(value)
+    return f"{value:x}"
+
+
+def render_port_wave(
+    vcd_a: Union[str, VcdFile],
+    vcd_b: Union[str, VcdFile],
+    scope: str,
+    center_cycle: int,
+    window: int = 8,
+    labels: Sequence[str] = ("rtl", "bca"),
+) -> str:
+    """Render ``scope``'s signals from both dumps around ``center_cycle``.
+
+    Diverging cells are marked with ``*``; signals identical across the
+    whole window are collapsed into a single row.
+    """
+    file_a = parse_vcd(vcd_a) if isinstance(vcd_a, str) else vcd_a
+    file_b = parse_vcd(vcd_b) if isinstance(vcd_b, str) else vcd_b
+    total = min(file_a.n_cycles, file_b.n_cycles)
+    if total == 0:
+        raise ExtractionError("empty dumps")
+    first = max(0, center_cycle - window)
+    last = min(total - 1, center_cycle + window)
+    cycles = list(range(first, last + 1))
+
+    lines: List[str] = [
+        f"port {scope}, cycles {first}..{last} "
+        f"(divergences marked '*'):"
+    ]
+    header = f"{'signal':<12} " + " ".join(f"{c:>5}" for c in cycles)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for leaf in PORT_SIGNALS:
+        name = f"{scope}.{leaf}"
+        if name not in file_a or name not in file_b:
+            raise ExtractionError(f"signal {name!r} missing from a dump")
+        series_a = file_a[name].expand(last + 1, file_a.timescale)[first:]
+        series_b = file_b[name].expand(last + 1, file_b.timescale)[first:]
+        if series_a == series_b:
+            row = " ".join(
+                f"{_format_value(v, file_a[name].width):>5}"
+                for v in series_a
+            )
+            lines.append(f"{leaf:<12} {row}")
+            continue
+        for label, series, other in (
+            (labels[0], series_a, series_b),
+            (labels[1], series_b, series_a),
+        ):
+            cells = []
+            for v, w in zip(series, other):
+                mark = "*" if v != w else " "
+                cells.append(f"{mark}{_format_value(v, file_a[name].width):>4}")
+            lines.append(f"{leaf + ':' + label:<12} " + " ".join(cells))
+    return "\n".join(lines) + "\n"
+
+
+def render_divergence(
+    vcd_a: Union[str, VcdFile],
+    vcd_b: Union[str, VcdFile],
+    alignment: PortAlignment,
+    window: int = 8,
+) -> Optional[str]:
+    """Render the wave around a port's first divergence (None if aligned)."""
+    if alignment.first_divergence is None:
+        return None
+    return render_port_wave(
+        vcd_a, vcd_b, alignment.port, alignment.first_divergence, window
+    )

@@ -1,0 +1,54 @@
+"""Timed queues — the BCA view's replacement for register pipelines.
+
+Where the RTL node moves cells through explicit register stages, the BCA
+model reasons about *when* a cell becomes visible: a cell accepted while
+producing cycle ``F+1`` is annotated ``visible_at = F + depth`` and simply
+waits in a FIFO.  Occupancy is capped at ``depth`` (the number of register
+stages it abstracts), so back-pressure timing matches the elastic pipeline
+exactly; see ``tests/bca/test_queue_equivalence.py`` for the lockstep
+equivalence property test.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class TimedFifo(Generic[T]):
+    """Bounded FIFO whose head becomes visible at a scheduled cycle."""
+
+    def __init__(self, depth: int):
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.depth = depth
+        self._entries: List[Tuple[T, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def can_accept(self, output_fired: bool) -> bool:
+        """May a new item be accepted this cycle (ready-chain equivalent)?"""
+        return output_fired or len(self._entries) < self.depth
+
+    def push(self, item: T, visible_at: int) -> None:
+        if len(self._entries) >= self.depth:
+            raise OverflowError("timed fifo over capacity")
+        if self._entries and visible_at < self._entries[-1][1]:
+            # Preserve FIFO visibility monotonicity (cells cannot overtake).
+            visible_at = self._entries[-1][1]
+        self._entries.append((item, visible_at))
+
+    def visible_head(self, now: int) -> Optional[T]:
+        """The item presented on the output during cycle ``now``."""
+        if self._entries and self._entries[0][1] <= now:
+            return self._entries[0][0]
+        return None
+
+    def pop(self) -> T:
+        item, _ = self._entries.pop(0)
+        return item
+
+    def flush(self) -> None:
+        self._entries.clear()

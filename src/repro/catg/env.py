@@ -1,0 +1,299 @@
+"""The generic testbench of Fig. 2, assembled.
+
+"The DUT interfaces are connected to eVCs ... Each eVC is endowed with
+BFMs that generate random scenarios, monitors that collect traffic
+information and checkers that check the correctness of the protocol at the
+interface.  Moreover the scoreboard and specific checkers are required for
+each DUT."
+
+:class:`VerificationEnv` builds exactly that around either design view of
+the node — the *same* environment code for both, which is the paper's
+contribution.  A :class:`RunResult` corresponds to the per-(test, seed)
+"verification report and functional coverage one" the regression tool
+emits, plus the optional VCD for bus-accurate comparison.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..bca.node import BcaNode
+from ..kernel import Module, Simulator
+from ..rtl.node import RtlNode
+from ..stbus import NodeConfig, StbusPort, T1_WRITE, Type1Port
+from ..vcd import VcdWriter
+from .bfm import InitiatorBfm
+from .checker import ProtocolChecker, Type1Checker
+from .coverage import CoverageModel, NodeCoverageCollector
+from .monitor import PortMonitor
+from .node_checks import ArbitrationChecker
+from .prog import ProgrammingMaster
+from .report import VerificationReport
+from .scoreboard import Scoreboard
+from .sequence import TestProgram
+from .target import TargetHarness
+
+#: The two design views the environment accepts — "the DUT can be RTL or BCA".
+VIEWS = ("rtl", "bca")
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (config, view, test, seed) run."""
+
+    config_name: str
+    view: str
+    test_name: str
+    seed: int
+    passed: bool
+    timed_out: bool
+    cycles: int
+    wall_seconds: float
+    report: VerificationReport
+    coverage: CoverageModel
+    dut_stats: Dict[str, int] = field(default_factory=dict)
+    vcd_path: Optional[str] = None
+
+    @property
+    def coverage_percent(self) -> float:
+        return self.coverage.percent
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return (
+            f"{status} {self.config_name}/{self.view} {self.test_name} "
+            f"seed={self.seed} cycles={self.cycles} "
+            f"cov={self.coverage_percent:.1f}% "
+            f"violations={len(self.report.violations)}"
+        )
+
+
+class VerificationEnv:
+    """One instantiated testbench around one DUT view.
+
+    Parameters
+    ----------
+    config:
+        The node's HDL parameters.
+    view:
+        ``"rtl"`` or ``"bca"`` — which model to plug in as DUT.
+    bugs:
+        Seeded BCA bugs to enable (BCA view only).
+    vcd_path:
+        If set, dump a VCD of the whole testbench for the bus analyzer.
+    """
+
+    def __init__(
+        self,
+        config: NodeConfig,
+        view: str = "rtl",
+        bugs=(),
+        vcd_path: Optional[str] = None,
+        with_arbitration_checker: bool = True,
+    ):
+        if view not in VIEWS:
+            raise ValueError(f"view must be one of {VIEWS}")
+        if bugs and view != "bca":
+            raise ValueError("bug injection applies to the BCA view only")
+        self.config = config
+        self.view = view
+        self.vcd_path = vcd_path
+        self.sim = Simulator()
+        self.top = Module(self.sim, "tb")
+        self.report = VerificationReport(name=f"{config.name}/{view}")
+        if vcd_path:
+            self._writer: Optional[VcdWriter] = VcdWriter(vcd_path)
+            self.sim.add_tracer(self._writer)
+        else:
+            self._writer = None
+
+        width = config.data_width_bits
+        self.init_ports = [
+            StbusPort(self.top, f"init{i}", width)
+            for i in range(config.n_initiators)
+        ]
+        self.targ_ports = [
+            StbusPort(self.top, f"targ{t}", width)
+            for t in range(config.n_targets)
+        ]
+        self.prog_port = (
+            Type1Port(self.top, "prog") if config.has_programming_port else None
+        )
+
+        dut_cls = RtlNode if view == "rtl" else BcaNode
+        kwargs = {} if view == "rtl" else {"bugs": bugs}
+        self.dut = dut_cls(
+            self.sim, "dut", config, self.init_ports, self.targ_ports,
+            prog_port=self.prog_port, parent=self.top, **kwargs,
+        )
+
+        protocol = config.protocol_type
+        self.bfms = [
+            InitiatorBfm(self.sim, f"bfm{i}", self.init_ports[i], protocol,
+                         parent=self.top)
+            for i in range(config.n_initiators)
+        ]
+        self.targets = [
+            TargetHarness(self.sim, f"mem{t}", self.targ_ports[t], protocol,
+                          seed=0xC0DE + t, parent=self.top)
+            for t in range(config.n_targets)
+        ]
+        self.prog_master = (
+            ProgrammingMaster(self.sim, "prog_master", self.prog_port,
+                              parent=self.top)
+            if self.prog_port is not None else None
+        )
+
+        self.monitors: List[PortMonitor] = []
+        self.checkers: List[ProtocolChecker] = []
+        for i, port in enumerate(self.init_ports):
+            self.monitors.append(
+                PortMonitor(self.sim, f"mon_init{i}", port, "initiator", i,
+                            parent=self.top)
+            )
+            self.checkers.append(
+                ProtocolChecker(self.sim, f"chk_init{i}", port, "initiator",
+                                i, protocol, self.report, parent=self.top)
+            )
+        for t, port in enumerate(self.targ_ports):
+            self.monitors.append(
+                PortMonitor(self.sim, f"mon_targ{t}", port, "target", t,
+                            parent=self.top)
+            )
+            self.checkers.append(
+                ProtocolChecker(self.sim, f"chk_targ{t}", port, "target",
+                                t, protocol, self.report, parent=self.top)
+            )
+
+        if self.prog_port is not None:
+            self.t1_checker: Type1Checker = Type1Checker(
+                self.sim, "chk_prog", self.prog_port, self.report,
+                parent=self.top,
+            )
+        else:
+            self.t1_checker = None
+
+        self.scoreboard = Scoreboard(config, self.report)
+        self.scoreboard.connect(self.monitors)
+        self.coverage = NodeCoverageCollector(config)
+        self.coverage.connect(self.monitors)
+        self.arb_checker = (
+            ArbitrationChecker(
+                self.sim, "arb_chk", config, self.init_ports,
+                self.targ_ports, self.report, prog_port=self.prog_port,
+                parent=self.top,
+            )
+            if with_arbitration_checker else None
+        )
+        self.sim.add_clocked(self._coverage_probe)
+        self._test: Optional[TestProgram] = None
+
+    # -- per-cycle coverage probe -------------------------------------------
+
+    def _coverage_probe(self) -> None:
+        amap = self.config.resolved_map
+        requesting: Dict[int, int] = {}
+        for port in self.init_ports:
+            if port.req.value:
+                target = amap.decode(port.add.value)
+                if target is not None:
+                    requesting[target] = requesting.get(target, 0) + 1
+        self.coverage.sample_cycle(requesting)
+        if self.prog_port is not None and self.prog_port.fired:
+            self.coverage.sample_programming(
+                self.prog_port.opc.value == T1_WRITE
+            )
+
+    # -- test loading and execution ---------------------------------------------
+
+    def load_test(self, test: TestProgram) -> None:
+        if len(test.programs) != self.config.n_initiators:
+            raise ValueError("test program count != number of initiators")
+        if len(test.target_latencies) != self.config.n_targets:
+            raise ValueError("target latency count != number of targets")
+        for bfm, program in zip(self.bfms, test.programs):
+            bfm.load_program(program)
+        jitters = test.target_jitters or [0] * self.config.n_targets
+        for harness, latency, jitter in zip(
+            self.targets, test.target_latencies, jitters
+        ):
+            harness.latency = latency
+            harness.jitter = jitter
+        if test.prog_ops:
+            if self.prog_master is None:
+                raise ValueError(
+                    "test uses the programming port but the configuration "
+                    "has none"
+                )
+            self.prog_master.load_schedule(test.prog_ops)
+        self._test = test
+
+    def _drained(self) -> bool:
+        if not all(bfm.done for bfm in self.bfms):
+            return False
+        if self.prog_master is not None and not self.prog_master.done:
+            return False
+        if any(records for records in self.scoreboard._in_flight.values()):
+            return False
+        return not any(self.scoreboard._crossing.values())
+
+    def run(self) -> RunResult:
+        """Execute the loaded test to completion (or timeout)."""
+        if self._test is None:
+            raise RuntimeError("load_test() before run()")
+        test = self._test
+        started = time.perf_counter()
+        self.sim.elaborate()
+        timed_out = False
+        executed = 0
+        while executed < test.max_cycles:
+            self.sim.step()
+            executed += 1
+            if self._drained():
+                break
+        else:
+            timed_out = True
+            self.report.error(
+                "TIMEOUT", "env", self.sim.now,
+                f"test did not drain within {test.max_cycles} cycles",
+            )
+        for _ in range(test.drain_cycles):
+            self.sim.step()
+        for checker in self.checkers:
+            checker.finalize()
+        self.scoreboard.finalize(self.sim.now)
+        self.sim.finish()
+        wall = time.perf_counter() - started
+        return RunResult(
+            config_name=self.config.name,
+            view=self.view,
+            test_name=test.name,
+            seed=test.seed,
+            passed=self.report.passed and not timed_out,
+            timed_out=timed_out,
+            cycles=self.sim.now,
+            wall_seconds=wall,
+            report=self.report,
+            coverage=self.coverage.model,
+            dut_stats=dict(self.dut.stats),
+            vcd_path=self.vcd_path,
+        )
+
+
+def run_test(
+    config: NodeConfig,
+    test: TestProgram,
+    view: str = "rtl",
+    bugs=(),
+    vcd_path: Optional[str] = None,
+    with_arbitration_checker: bool = True,
+) -> RunResult:
+    """Convenience wrapper: build an environment, run one test."""
+    env = VerificationEnv(
+        config, view=view, bugs=bugs, vcd_path=vcd_path,
+        with_arbitration_checker=with_arbitration_checker,
+    )
+    env.load_test(test)
+    return env.run()

@@ -1,0 +1,67 @@
+"""Programming-port master — drives the node's Type I register port.
+
+Section 5: the node "has an optional programmable port allowing changing
+the arbitration priority of initiators or targets"; test case T07 uses
+this master to reprogram priorities mid-test.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..kernel import Module, Simulator
+from ..stbus import T1_IDLE, T1_READ, T1_WRITE, Type1Port
+from .sequence import ProgOp
+
+
+class ProgrammingMaster(Module):
+    """Executes a schedule of register reads/writes over a Type I port."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        port: Type1Port,
+        schedule: Sequence[ProgOp] = (),
+        parent: Optional[Module] = None,
+    ):
+        super().__init__(sim, name, parent)
+        self.port = port
+        self._schedule: List[ProgOp] = sorted(schedule, key=lambda op: op.cycle)
+        self._idx = 0
+        self._active: Optional[ProgOp] = None
+        self.completed: List[ProgOp] = []
+        self.read_values: List[int] = []
+        self.clocked(self._clk)
+
+    def load_schedule(self, schedule: Sequence[ProgOp]) -> None:
+        self._schedule = sorted(schedule, key=lambda op: op.cycle)
+
+    @property
+    def done(self) -> bool:
+        return self._active is None and self._idx >= len(self._schedule)
+
+    def _clk(self) -> None:
+        port = self.port
+        if self._active is not None and port.fired:
+            if not self._active.is_write:
+                self.read_values.append(port.rdata.value)
+            self.completed.append(self._active)
+            self._active = None
+        if self._active is None and self._idx < len(self._schedule) \
+                and self._schedule[self._idx].cycle <= self.sim.now:
+            self._active = self._schedule[self._idx]
+            self._idx += 1
+        if self._active is not None:
+            op = self._active
+            port.req.drive(1)
+            port.opc.drive(T1_WRITE if op.is_write else T1_READ)
+            port.add.drive((op.index * 4) & port.add.mask)
+            port.wdata.drive(op.value & port.wdata.mask)
+            port.be.drive(port.be.mask)
+        else:
+            port.req.drive(0)
+            port.opc.drive(T1_IDLE)
+            port.add.drive(0)
+            port.wdata.drive(0)
+            port.be.drive(0)

@@ -1,0 +1,71 @@
+"""Verification report: the sink for every checker/scoreboard finding.
+
+The regression tool of the paper produces "a verification report and a
+functional coverage one ... for each test file associated with the test
+seed".  :class:`VerificationReport` is the in-memory form of the former;
+its text rendering is what gets written next to the VCD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation observed by a checker or the scoreboard."""
+
+    rule: str
+    source: str  # checker/scoreboard instance name
+    cycle: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] @{self.cycle} {self.source}: {self.message}"
+
+
+@dataclass
+class VerificationReport:
+    """Aggregates violations and bookkeeping notes for one run."""
+
+    name: str = "run"
+    violations: List[Violation] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    #: Stop recording after this many violations (a broken DUT otherwise
+    #: floods the report; the regression tool only needs pass/fail + the
+    #: first findings).
+    max_violations: int = 200
+
+    def error(self, rule: str, source: str, cycle: int, message: str) -> None:
+        if len(self.violations) < self.max_violations:
+            self.violations.append(Violation(rule, source, cycle, message))
+
+    def note(self, message: str) -> None:
+        self.notes.append(message)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def rules_hit(self) -> Dict[str, int]:
+        """Histogram of violated rules (used by the bug-detection bench)."""
+        histogram: Dict[str, int] = {}
+        for violation in self.violations:
+            histogram[violation.rule] = histogram.get(violation.rule, 0) + 1
+        return histogram
+
+    def first_violation(self) -> Optional[Violation]:
+        return self.violations[0] if self.violations else None
+
+    def render(self) -> str:
+        lines = [f"Verification report: {self.name}",
+                 f"Status: {'PASS' if self.passed else 'FAIL'}",
+                 f"Violations: {len(self.violations)}"]
+        for violation in self.violations[:50]:
+            lines.append(f"  {violation}")
+        if len(self.violations) > 50:
+            lines.append(f"  ... {len(self.violations) - 50} more")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines) + "\n"

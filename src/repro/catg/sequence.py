@@ -1,0 +1,159 @@
+"""Constrained-random sequences and test programs.
+
+The common environment generates "random scenarios" (Fig. 2) and the test
+cases "allow initiators to generate semi-random traffic" (Section 5),
+reproducible per seed: "Same test file could be run more than one time
+with a different seed."
+
+A :class:`TestProgram` is everything one (test, seed) run needs: the
+per-initiator transaction programs, the per-target speed profile, the
+programming-port schedule, and the cycle budget.  Test cases
+(:mod:`repro.regression.testcases`) are factories from (config, seed) to
+:class:`TestProgram`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..stbus import NodeConfig, OpKind, Opcode, Transaction
+
+#: Default operation mix for uniform random traffic (kind, weight).
+DEFAULT_MIX: Tuple[Tuple[OpKind, int], ...] = (
+    (OpKind.LOAD, 8),
+    (OpKind.STORE, 8),
+    (OpKind.RMW, 2),
+    (OpKind.SWAP, 1),
+    (OpKind.READEX, 1),
+    (OpKind.FLUSH, 1),
+    (OpKind.PURGE, 1),
+)
+
+_SIZES = {
+    OpKind.LOAD: (1, 2, 4, 8, 16, 32, 64),
+    OpKind.STORE: (1, 2, 4, 8, 16, 32, 64),
+    OpKind.RMW: (1, 2, 4, 8),
+    OpKind.SWAP: (1, 2, 4, 8),
+    OpKind.READEX: (1, 2, 4, 8),
+    OpKind.FLUSH: (1,),
+    OpKind.PURGE: (1,),
+}
+
+
+@dataclass
+class ProgOp:
+    """One programming-port operation."""
+
+    cycle: int  # earliest cycle at which to present it
+    index: int  # arbitration register (one per initiator)
+    value: int
+    is_write: bool = True
+
+
+@dataclass
+class TestProgram:
+    """A fully-expanded (test, seed) run recipe."""
+
+    name: str
+    seed: int
+    programs: List[List[Tuple[Transaction, int]]]
+    target_latencies: List[int]
+    target_jitters: List[int] = field(default_factory=list)
+    prog_ops: List[ProgOp] = field(default_factory=list)
+    max_cycles: int = 20000
+    drain_cycles: int = 30
+
+    def total_transactions(self) -> int:
+        return sum(len(p) for p in self.programs)
+
+
+def pick_kind(rng: random.Random,
+              mix: Sequence[Tuple[OpKind, int]] = DEFAULT_MIX) -> OpKind:
+    """Weighted random operation kind."""
+    kinds = [k for k, _ in mix]
+    weights = [w for _, w in mix]
+    return rng.choices(kinds, weights=weights, k=1)[0]
+
+
+def random_transaction(
+    config: NodeConfig,
+    rng: random.Random,
+    initiator: int,
+    *,
+    targets: Optional[Sequence[int]] = None,
+    mix: Sequence[Tuple[OpKind, int]] = DEFAULT_MIX,
+    max_size: int = 64,
+    lck_probability: float = 0.0,
+    error_probability: float = 0.0,
+) -> Transaction:
+    """One constrained-random transaction for ``initiator``.
+
+    ``error_probability`` injects addresses outside the decoded map, which
+    the node must answer with error responses (a coverage point).
+    """
+    amap = config.resolved_map
+    kind = pick_kind(rng, mix)
+    sizes = [s for s in _SIZES[kind] if s <= max_size]
+    size = rng.choice(sizes)
+    opcode = Opcode(kind, size)
+    if error_probability and rng.random() < error_probability:
+        top = max(region.end for region in amap.regions)
+        address = ((top + 0x10000) // size + rng.randrange(64)) * size
+    else:
+        pool = list(targets) if targets is not None \
+            else config.reachable_targets(initiator)
+        if not pool:
+            raise ValueError(f"initiator {initiator} reaches no target")
+        target = rng.choice(pool)
+        address = amap.random_address_in(target, rng, alignment=size)
+    data = rng.randbytes(size) if kind.carries_request_data else b""
+    lck = 1 if lck_probability and rng.random() < lck_probability else 0
+    return Transaction(opcode, address, data=data, lck=lck,
+                       initiator=initiator,
+                       pri=rng.randrange(16))
+
+
+def random_program(
+    config: NodeConfig,
+    rng: random.Random,
+    initiator: int,
+    n_transactions: int,
+    *,
+    gap_range: Tuple[int, int] = (0, 3),
+    **kwargs,
+) -> List[Tuple[Transaction, int]]:
+    """A list of (transaction, gap) pairs for one initiator."""
+    lo, hi = gap_range
+    program = []
+    for _ in range(n_transactions):
+        txn = random_transaction(config, rng, initiator, **kwargs)
+        program.append((txn, rng.randint(lo, hi)))
+    return program
+
+
+def directed_write_read_pairs(
+    config: NodeConfig,
+    initiator: int,
+    target: int,
+    n_pairs: int,
+    size: int = 4,
+    pattern: int = 0,
+) -> List[Tuple[Transaction, int]]:
+    """Directed write-then-read traffic (the past flow's only scenario)."""
+    amap = config.resolved_map
+    region = amap.region_of(target)
+    program = []
+    for k in range(n_pairs):
+        address = region.base + (k * size * 2) % max(size, region.size - size)
+        address -= address % size
+        data = bytes(((pattern + k + j) & 0xFF) for j in range(size))
+        program.append(
+            (Transaction(Opcode.store(size), address, data=data,
+                         initiator=initiator), 0)
+        )
+        program.append(
+            (Transaction(Opcode.load(size), address, initiator=initiator), 0)
+        )
+    return program

@@ -1,0 +1,5 @@
+"""Hierarchical interconnect construction from the four basic components."""
+
+from .builder import Endpoint, Fabric, FabricError, FabricSpec
+
+__all__ = ["FabricSpec", "Fabric", "FabricError", "Endpoint"]

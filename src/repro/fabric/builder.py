@@ -1,0 +1,431 @@
+"""Fabric builder — programmatic construction of hierarchical interconnects.
+
+Section 3: the STBus "is not only a single bus or a set of buses, but it
+can be a hierarchical communication network composed of more than one
+router ... connecting a set of 4 basic components: nodes, size
+converters, type converters and register decoders."
+
+:class:`FabricSpec` describes such a network declaratively — components
+and point-to-point connections — validates it (port counts, widths,
+protocol types), and builds it in either design view, wiring every link
+as one shared :class:`~repro.stbus.interface.StbusPort`.  The masters are
+CATG BFMs, so any built fabric is immediately drivable with the same
+sequences the node testbench uses.
+
+Example (the paper's Figure 1)::
+
+    spec = FabricSpec()
+    spec.master("cpu", width=32)
+    spec.node("nodeA", config_a)
+    spec.memory("memA", latency=2)
+    spec.connect("cpu", ("nodeA", "init", 0))
+    spec.connect(("nodeA", "targ", 0), "memA")
+    fabric = spec.build(view="rtl")
+    fabric.masters["cpu"].load_program(...)
+    fabric.run_until_drained()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..bca import (
+    BcaNode,
+    BcaRegisterDecoder,
+    BcaSizeConverter,
+    BcaTypeConverter,
+)
+from ..catg.bfm import InitiatorBfm
+from ..catg.target import TargetHarness
+from ..kernel import Module, Simulator
+from ..rtl import (
+    RtlNode,
+    RtlRegisterDecoder,
+    RtlSizeConverter,
+    RtlTypeConverter,
+)
+from ..stbus import NodeConfig, ProtocolType, StbusPort
+
+
+class FabricError(ValueError):
+    """Inconsistent fabric description."""
+
+
+#: Endpoint naming: a plain component name ("cpu", "memA", bridges use
+#: ("name", "up"/"down")), or a node port ("nodeA", "init"|"targ", index).
+Endpoint = Union[str, Tuple[str, str], Tuple[str, str, int]]
+
+
+@dataclass
+class _MasterSpec:
+    name: str
+    width: int
+    protocol: ProtocolType
+
+
+@dataclass
+class _MemorySpec:
+    name: str
+    latency: int
+    jitter: int
+    capacity: int
+    seed: int
+
+
+@dataclass
+class _RegisterSpec:
+    name: str
+    n_regs: int
+    latency: int
+
+
+@dataclass
+class _NodeSpec:
+    name: str
+    config: NodeConfig
+
+
+@dataclass
+class _BridgeSpec:
+    name: str
+    kind: str  # "size" or "type"
+    up_protocol: ProtocolType
+    down_protocol: ProtocolType
+    queue_depth: int
+
+
+def _canonical(endpoint: Endpoint) -> Tuple:
+    if isinstance(endpoint, str):
+        return (endpoint,)
+    return tuple(endpoint)
+
+
+class FabricSpec:
+    """Declarative description of an interconnect fabric."""
+
+    def __init__(self) -> None:
+        self._masters: Dict[str, _MasterSpec] = {}
+        self._memories: Dict[str, _MemorySpec] = {}
+        self._registers: Dict[str, _RegisterSpec] = {}
+        self._nodes: Dict[str, _NodeSpec] = {}
+        self._bridges: Dict[str, _BridgeSpec] = {}
+        self._links: List[Tuple[Tuple, Tuple]] = []
+
+    # -- component declaration ---------------------------------------------
+
+    def master(self, name: str, width: int = 32,
+               protocol: ProtocolType = ProtocolType.T2) -> str:
+        self._check_new(name)
+        self._masters[name] = _MasterSpec(name, width, protocol)
+        return name
+
+    def memory(self, name: str, latency: int = 2, jitter: int = 0,
+               capacity: int = 8, seed: int = 0) -> str:
+        self._check_new(name)
+        self._memories[name] = _MemorySpec(name, latency, jitter, capacity,
+                                           seed)
+        return name
+
+    def register_decoder(self, name: str, n_regs: int = 16,
+                         latency: int = 1) -> str:
+        self._check_new(name)
+        self._registers[name] = _RegisterSpec(name, n_regs, latency)
+        return name
+
+    def node(self, name: str, config: NodeConfig) -> str:
+        self._check_new(name)
+        config.validate()
+        self._nodes[name] = _NodeSpec(name, config)
+        return name
+
+    def size_converter(self, name: str, protocol: ProtocolType,
+                       queue_depth: int = 2) -> str:
+        self._check_new(name)
+        self._bridges[name] = _BridgeSpec(name, "size", protocol, protocol,
+                                          queue_depth)
+        return name
+
+    def type_converter(self, name: str, up_protocol: ProtocolType,
+                       down_protocol: ProtocolType,
+                       queue_depth: int = 2) -> str:
+        self._check_new(name)
+        self._bridges[name] = _BridgeSpec(name, "type", up_protocol,
+                                          down_protocol, queue_depth)
+        return name
+
+    def _check_new(self, name: str) -> None:
+        for pool in (self._masters, self._memories, self._registers,
+                     self._nodes, self._bridges):
+            if name in pool:
+                raise FabricError(f"duplicate component name {name!r}")
+
+    # -- wiring ----------------------------------------------------------------
+
+    def connect(self, a: Endpoint, b: Endpoint) -> None:
+        """Wire two endpoints with one STBus link.
+
+        One side must *drive requests* (master, bridge ``("x","down")``,
+        node target port); the other must *serve* them (memory, register
+        decoder, bridge ``("x","up")``, node initiator port).
+        """
+        self._links.append((_canonical(a), _canonical(b)))
+
+    # -- endpoint classification ------------------------------------------------
+
+    def _endpoint_role(self, ep: Tuple) -> str:
+        """'source' drives requests; 'sink' serves them."""
+        name = ep[0]
+        if name in self._masters:
+            return "source"
+        if name in self._memories or name in self._registers:
+            return "sink"
+        if name in self._bridges:
+            if len(ep) != 2 or ep[1] not in ("up", "down"):
+                raise FabricError(
+                    f"bridge endpoint must be ('{name}', 'up'|'down')"
+                )
+            return "sink" if ep[1] == "up" else "source"
+        if name in self._nodes:
+            if len(ep) != 3 or ep[1] not in ("init", "targ"):
+                raise FabricError(
+                    f"node endpoint must be ('{name}', 'init'|'targ', k)"
+                )
+            config = self._nodes[name].config
+            limit = config.n_initiators if ep[1] == "init" \
+                else config.n_targets
+            if not 0 <= ep[2] < limit:
+                raise FabricError(f"{ep}: port index out of range")
+            return "sink" if ep[1] == "init" else "source"
+        raise FabricError(f"unknown component in endpoint {ep!r}")
+
+    def _endpoint_width(self, ep: Tuple) -> Optional[int]:
+        name = ep[0]
+        if name in self._masters:
+            return self._masters[name].width
+        if name in self._nodes:
+            return self._nodes[name].config.data_width_bits
+        return None  # memories/registers/bridges adapt to the link
+
+    # -- validation + build -----------------------------------------------------
+
+    def validate(self) -> None:
+        seen: Dict[Tuple, int] = {}
+        for a, b in self._links:
+            roles = {self._endpoint_role(a), self._endpoint_role(b)}
+            if roles != {"source", "sink"}:
+                raise FabricError(
+                    f"link {a} <-> {b}: needs one request driver and one "
+                    "server"
+                )
+            for ep in (a, b):
+                seen[ep] = seen.get(ep, 0) + 1
+                if seen[ep] > 1:
+                    raise FabricError(f"endpoint {ep} connected twice")
+            width_a = self._endpoint_width(a)
+            width_b = self._endpoint_width(b)
+            if width_a is not None and width_b is not None \
+                    and width_a != width_b:
+                raise FabricError(
+                    f"link {a} <-> {b}: width mismatch "
+                    f"{width_a} vs {width_b}"
+                )
+        # Every node port must be wired.
+        for name, spec in self._nodes.items():
+            for kind, count in (("init", spec.config.n_initiators),
+                                ("targ", spec.config.n_targets)):
+                for k in range(count):
+                    if (name, kind, k) not in seen:
+                        raise FabricError(
+                            f"node port ({name!r}, {kind!r}, {k}) unwired"
+                        )
+        # Every bridge needs both sides.
+        for name in self._bridges:
+            for side in ("up", "down"):
+                if (name, side) not in seen:
+                    raise FabricError(
+                        f"bridge side ({name!r}, {side!r}) unwired"
+                    )
+        # Masters, memories and register decoders need exactly one link.
+        for pool in (self._masters, self._memories, self._registers):
+            for name in pool:
+                if (name,) not in seen:
+                    raise FabricError(f"component {name!r} unwired")
+
+    def build(self, view: str = "rtl",
+              sim: Optional[Simulator] = None) -> "Fabric":
+        if view not in ("rtl", "bca"):
+            raise FabricError("view must be 'rtl' or 'bca'")
+        self.validate()
+        return Fabric(self, view, sim or Simulator())
+
+
+def _link_width(spec: FabricSpec, a: Tuple, b: Tuple) -> int:
+    width = spec._endpoint_width(a)
+    if width is None:
+        width = spec._endpoint_width(b)
+    return width if width is not None else 32
+
+
+def _link_protocol(spec: FabricSpec, a: Tuple, b: Tuple) -> ProtocolType:
+    """The protocol spoken on a link (from whichever side fixes it)."""
+    for ep in (a, b):
+        name = ep[0]
+        if name in spec._nodes:
+            return spec._nodes[name].config.protocol_type
+        if name in spec._bridges:
+            bridge = spec._bridges[name]
+            return bridge.up_protocol if ep[1] == "up" \
+                else bridge.down_protocol
+        if name in spec._masters:
+            return spec._masters[name].protocol
+    return ProtocolType.T2
+
+
+class Fabric:
+    """A built (elaboratable) interconnect."""
+
+    def __init__(self, spec: FabricSpec, view: str, sim: Simulator):
+        self.spec = spec
+        self.view = view
+        self.sim = sim
+        self.top = Module(sim, "fabric")
+        self.ports: Dict[Tuple[Tuple, Tuple], StbusPort] = {}
+        self.masters: Dict[str, InitiatorBfm] = {}
+        self.memories: Dict[str, TargetHarness] = {}
+        self.registers: Dict[str, object] = {}
+        self.nodes: Dict[str, object] = {}
+        self.bridges: Dict[str, object] = {}
+        self._build()
+
+    # -- port bookkeeping -------------------------------------------------------
+
+    def _port_for(self, a: Tuple, b: Tuple) -> StbusPort:
+        key = (a, b)
+        if key not in self.ports:
+            width = _link_width(self.spec, a, b)
+            label = "__".join("_".join(str(p) for p in ep) for ep in key)
+            self.ports[key] = StbusPort(self.top, f"link_{label}", width)
+        return self.ports[key]
+
+    def port_of(self, endpoint: Endpoint) -> StbusPort:
+        """The link port attached to ``endpoint``."""
+        ep = _canonical(endpoint)
+        for (a, b), port in self.ports.items():
+            if ep in (a, b):
+                return port
+        raise FabricError(f"endpoint {ep} not found in built fabric")
+
+    # -- construction -------------------------------------------------------------
+
+    def _endpoint_links(self, name: str) -> Dict[Tuple, StbusPort]:
+        result = {}
+        for a, b in self.spec._links:
+            for ep in (a, b):
+                if ep[0] == name:
+                    result[ep] = self._port_for(a, b)
+        return result
+
+    def _build(self) -> None:
+        spec = self.spec
+        rtl = self.view == "rtl"
+        # Create every link port first.
+        for a, b in spec._links:
+            self._port_for(a, b)
+        # Masters.
+        for name, master in spec._masters.items():
+            port = self.port_of(name)
+            self.masters[name] = InitiatorBfm(
+                self.sim, name, port, master.protocol, parent=self.top
+            )
+        # Memories.
+        for name, memory in spec._memories.items():
+            port = self.port_of(name)
+            protocol = _link_protocol(spec, *self._link_of(name))
+            self.memories[name] = TargetHarness(
+                self.sim, name, port, protocol,
+                latency=memory.latency, jitter=memory.jitter,
+                capacity=memory.capacity, seed=memory.seed,
+                parent=self.top,
+            )
+        # Register decoders.
+        regdec_cls = RtlRegisterDecoder if rtl else BcaRegisterDecoder
+        for name, reg in spec._registers.items():
+            port = self.port_of(name)
+            protocol = _link_protocol(spec, *self._link_of(name))
+            self.registers[name] = regdec_cls(
+                self.sim, name, port, protocol,
+                n_regs=reg.n_regs, latency=reg.latency, parent=self.top,
+            )
+        # Nodes.
+        node_cls = RtlNode if rtl else BcaNode
+        for name, node in spec._nodes.items():
+            links = self._endpoint_links(name)
+            init_ports = [links[(name, "init", k)]
+                          for k in range(node.config.n_initiators)]
+            targ_ports = [links[(name, "targ", k)]
+                          for k in range(node.config.n_targets)]
+            self.nodes[name] = node_cls(
+                self.sim, name, node.config, init_ports, targ_ports,
+                parent=self.top,
+            )
+        # Bridges.
+        for name, bridge in spec._bridges.items():
+            links = self._endpoint_links(name)
+            up = links[(name, "up")]
+            down = links[(name, "down")]
+            if bridge.kind == "size":
+                cls = RtlSizeConverter if rtl else BcaSizeConverter
+                self.bridges[name] = cls(
+                    self.sim, name, up, down, bridge.up_protocol,
+                    queue_depth=bridge.queue_depth, parent=self.top,
+                )
+            else:
+                cls = RtlTypeConverter if rtl else BcaTypeConverter
+                self.bridges[name] = cls(
+                    self.sim, name, up, down, bridge.up_protocol,
+                    bridge.down_protocol,
+                    queue_depth=bridge.queue_depth, parent=self.top,
+                )
+
+    def _link_of(self, name: str) -> Tuple[Tuple, Tuple]:
+        for a, b in self.spec._links:
+            if a[0] == name or b[0] == name:
+                return a, b
+        raise FabricError(f"component {name!r} has no link")
+
+    # -- running ------------------------------------------------------------------
+
+    def elaborate(self) -> None:
+        self.sim.elaborate()
+
+    def run_until_drained(self, max_cycles: int = 20000,
+                          drain: int = 10) -> int:
+        """Run until every master is done and every memory is idle."""
+        if not self.sim._elaborated:
+            self.sim.elaborate()
+
+        def finished() -> bool:
+            if not all(bfm.done for bfm in self.masters.values()):
+                return False
+            if any(mem.busy for mem in self.memories.values()):
+                return False
+            # A node still tracking outstanding packets means traffic is
+            # in flight somewhere along the path (bridges included,
+            # transitively: their responses retire the node records).
+            for name, node in self.nodes.items():
+                config = self.spec._nodes[name].config
+                if any(node.outstanding_count(i)
+                       for i in range(config.n_initiators)):
+                    return False
+            return True
+
+        cycles = self.sim.run_until(finished, max_cycles)
+        self.sim.run(drain)
+        return cycles
+
+    def all_port_signals(self) -> List:
+        signals = []
+        for port in self.ports.values():
+            signals.extend(port.signals())
+        return signals

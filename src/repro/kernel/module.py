@@ -1,0 +1,59 @@
+"""Hierarchical module base class.
+
+Plays the role of the SystemC ``SC_MODULE`` / VHDL entity in the paper's
+flow: a named container that owns signals (its pins and internal nets) and
+registers processes with the simulator.  Port *binding* is by reference —
+two modules that should share a wire are simply handed the same
+:class:`~repro.kernel.signal.Signal` object, mirroring how the paper's VHDL
+testbench declares the signals and both the wrapper and the eVCs connect to
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from .signal import Signal
+from .simulator import Simulator
+
+
+class Module:
+    """Base class for simulated hardware and verification components.
+
+    Subclasses receive the simulator and a hierarchical name; helpers create
+    signals scoped under that name and register processes.  Children added
+    via :meth:`add_child` extend the hierarchy, which the VCD writer turns
+    into nested scopes.
+    """
+
+    def __init__(self, sim: Simulator, name: str, parent: Optional["Module"] = None):
+        self.sim = sim
+        self.basename = name
+        self.parent = parent
+        self.children: List["Module"] = []
+        if parent is not None:
+            parent.children.append(self)
+        self.name = name if parent is None else f"{parent.name}.{name}"
+
+    # -- construction helpers -------------------------------------------------
+
+    def signal(self, name: str, width: int = 1, init: int = 0) -> Signal:
+        """Create a signal named under this module's scope."""
+        return self.sim.signal(f"{self.name}.{name}", width=width, init=init)
+
+    def clocked(self, process: Callable[[], None]) -> None:
+        """Register a posedge process."""
+        self.sim.add_clocked(process)
+
+    def comb(self, process: Callable[[], None], sensitive_to: Iterable[Signal]) -> None:
+        """Register a combinational process with a sensitivity list."""
+        self.sim.add_comb(process, sensitive_to)
+
+    def add_child(self, child: "Module") -> None:
+        if child.parent is None:
+            child.parent = self
+            self.children.append(child)
+            child.name = f"{self.name}.{child.basename}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,157 @@
+"""Two-state signals for the cycle-based simulation kernel.
+
+A :class:`Signal` models a wire or register output visible at the pin level.
+Reads always observe the *current* committed value; writes go to a shadow
+``next`` value that the simulator commits between delta cycles.  This gives
+the usual RTL simulation contract: every process scheduled in the same delta
+sees the same stable snapshot, and combinational feedback settles through
+repeated delta cycles rather than through Python call ordering.
+
+Values are plain non-negative integers masked to the signal width (2-state
+simulation: no ``X``/``Z``; the paper's flow compares VCD dumps of two
+2-state-equivalent models, so 4-state resolution is not needed).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .simulator import Simulator
+
+
+class SignalError(Exception):
+    """Base class for signal-related simulation errors."""
+
+
+class MultipleDriverError(SignalError):
+    """Two different processes drove conflicting values in one delta."""
+
+
+class WidthError(SignalError):
+    """A value outside the representable range was driven onto a signal."""
+
+
+class Signal:
+    """A named, fixed-width, 2-state wire with deferred-commit semantics.
+
+    Parameters
+    ----------
+    name:
+        Hierarchical name (``top.dut.req``); used for VCD dumping and
+        error messages.
+    width:
+        Bit width (>= 1).  Values are masked against ``(1 << width) - 1``;
+        driving a value that does not fit raises :class:`WidthError`.
+    init:
+        Reset value, committed before time zero.
+    """
+
+    __slots__ = (
+        "name",
+        "width",
+        "mask",
+        "_value",
+        "_next",
+        "_pending",
+        "_writer",
+        "_sim",
+        "vcd_id",
+    )
+
+    def __init__(self, name: str, width: int = 1, init: int = 0) -> None:
+        if width < 1:
+            raise WidthError(f"signal {name!r}: width must be >= 1, got {width}")
+        self.name = name
+        self.width = width
+        self.mask = (1 << width) - 1
+        if init < 0 or init > self.mask:
+            raise WidthError(
+                f"signal {name!r}: init value {init} does not fit in {width} bits"
+            )
+        self._value: int = init
+        self._next: int = init
+        self._pending = False
+        self._writer: Optional[object] = None
+        self._sim: Optional["Simulator"] = None
+        self.vcd_id: Optional[str] = None
+
+    # -- read side ---------------------------------------------------------
+
+    @property
+    def value(self) -> int:
+        """The committed value, stable within a delta cycle."""
+        return self._value
+
+    def __bool__(self) -> bool:
+        return self._value != 0
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    # -- write side --------------------------------------------------------
+
+    def drive(self, value: int) -> None:
+        """Schedule ``value`` to be committed at the end of this delta.
+
+        Conflicting writes from two different processes in the same delta
+        raise :class:`MultipleDriverError`; re-driving the same value is
+        allowed (idempotent fan-in of identical drivers is common in
+        combinational code).
+        """
+        value = int(value)
+        if value < 0 or value > self.mask:
+            raise WidthError(
+                f"signal {self.name!r}: value {value} does not fit in "
+                f"{self.width} bits"
+            )
+        sim = self._sim
+        writer = sim.active_process if sim is not None else None
+        if self._pending:
+            if self._next != value and self._writer is not writer:
+                raise MultipleDriverError(
+                    f"signal {self.name!r}: driven to {self._next} by "
+                    f"{self._writer!r} and to {value} by {writer!r} in the "
+                    "same delta cycle"
+                )
+            self._next = value
+            self._writer = writer
+            return
+        self._next = value
+        self._pending = True
+        self._writer = writer
+        if sim is not None:
+            sim._schedule_commit(self)
+
+    @property
+    def next(self) -> int:
+        """The pending (not yet committed) value."""
+        return self._next
+
+    @next.setter
+    def next(self, value: int) -> None:
+        self.drive(value)
+
+    # -- kernel interface ----------------------------------------------------
+
+    def _bind(self, sim: "Simulator") -> None:
+        if self._sim is not None and self._sim is not sim:
+            raise SignalError(
+                f"signal {self.name!r} is already bound to another simulator"
+            )
+        self._sim = sim
+
+    def _commit(self) -> bool:
+        """Apply the pending value. Returns True if the value changed."""
+        self._pending = False
+        self._writer = None
+        if self._next != self._value:
+            self._value = self._next
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Signal({self.name!r}, width={self.width}, value={self._value})"

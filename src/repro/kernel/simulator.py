@@ -1,0 +1,224 @@
+"""Cycle-based simulation scheduler with delta-cycle settling.
+
+The kernel replaces the NCSim VHDL/SystemC co-simulation of the paper: it
+hosts both the RTL view (clocked + combinational processes at pin level) and
+the BCA view (transaction engines that still drive pins every cycle), and it
+samples every traced signal once per clock cycle for VCD dumping — which is
+exactly the granularity the paper's bus analyzer compares at.
+
+Scheduling model (single implicit clock domain):
+
+1. **Posedge phase** — every clocked process runs once, observing the stable
+   pre-edge snapshot and scheduling register updates via ``Signal.drive``.
+2. **Commit** — pending writes are applied; signals that changed wake the
+   combinational processes sensitive to them.
+3. **Delta loop** — woken combinational processes run, their writes commit,
+   further processes wake, until no signal changes (bounded; a combinational
+   oscillation raises :class:`DeltaOverflowError`).
+4. **Sample** — tracers observe the settled end-of-cycle values.
+
+A value visible during cycle *N* is therefore what the circuit shows between
+clock edge *N* and edge *N+1*; clocked processes at edge *N+1* read it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+from .signal import Signal, SignalError
+
+#: Upper bound on delta cycles per clock cycle before declaring oscillation.
+MAX_DELTAS = 1000
+
+Process = Callable[[], None]
+
+
+class SimulatorError(Exception):
+    """Base class for scheduler errors."""
+
+
+class DeltaOverflowError(SimulatorError):
+    """Combinational logic failed to settle (feedback loop)."""
+
+
+class ElaborationError(SimulatorError):
+    """The design was modified after elaboration or used before it."""
+
+
+class Tracer:
+    """Interface for per-cycle waveform observers (e.g. a VCD writer).
+
+    The simulator calls :meth:`declare` once per traced signal during
+    elaboration and :meth:`sample` once per cycle after settling.
+    """
+
+    def declare(self, signal: Signal) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def sample(self, cycle: int, signals: Sequence[Signal]) -> None:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def finish(self, cycle: int) -> None:
+        """Called when the simulation ends; flush buffered output."""
+
+
+class Simulator:
+    """Single-clock, cycle-based scheduler.
+
+    Typical use::
+
+        sim = Simulator()
+        a = sim.signal("a", width=8)
+        ...build modules, registering processes...
+        sim.elaborate()
+        sim.run(1000)
+    """
+
+    def __init__(self) -> None:
+        self.signals: List[Signal] = []
+        self._names: Set[str] = set()
+        self._clocked: List[Process] = []
+        self._comb: List[Process] = []
+        self._sensitivity: Dict[Signal, List[int]] = {}
+        self._comb_of: List[List[Signal]] = []
+        self._commit_queue: List[Signal] = []
+        self._tracers: List[Tracer] = []
+        self._elaborated = False
+        self._finished = False
+        self.now = 0  #: number of completed clock cycles
+        self.active_process: Optional[object] = None
+
+    # -- construction --------------------------------------------------------
+
+    def signal(self, name: str, width: int = 1, init: int = 0) -> Signal:
+        """Create and register a signal owned by this simulator."""
+        if self._elaborated:
+            raise ElaborationError("cannot add signals after elaborate()")
+        if name in self._names:
+            raise SignalError(f"duplicate signal name {name!r}")
+        sig = Signal(name, width=width, init=init)
+        sig._bind(self)
+        self.signals.append(sig)
+        self._names.add(name)
+        return sig
+
+    def add_clocked(self, process: Process) -> None:
+        """Register a process run once per clock posedge."""
+        if self._elaborated:
+            raise ElaborationError("cannot add processes after elaborate()")
+        self._clocked.append(process)
+
+    def add_comb(self, process: Process, sensitive_to: Iterable[Signal]) -> None:
+        """Register a combinational process woken by its sensitivity list."""
+        if self._elaborated:
+            raise ElaborationError("cannot add processes after elaborate()")
+        idx = len(self._comb)
+        self._comb.append(process)
+        sens = list(sensitive_to)
+        if not sens:
+            raise SimulatorError("combinational process needs a sensitivity list")
+        self._comb_of.append(sens)
+        for sig in sens:
+            self._sensitivity.setdefault(sig, []).append(idx)
+
+    def add_tracer(self, tracer: Tracer) -> None:
+        """Attach a waveform observer (must be added before elaborate)."""
+        if self._elaborated:
+            raise ElaborationError("cannot add tracers after elaborate()")
+        self._tracers.append(tracer)
+
+    # -- kernel internals ------------------------------------------------------
+
+    def _schedule_commit(self, sig: Signal) -> None:
+        self._commit_queue.append(sig)
+
+    def _commit_all(self) -> List[Signal]:
+        changed: List[Signal] = []
+        queue, self._commit_queue = self._commit_queue, []
+        for sig in queue:
+            if sig._commit():
+                changed.append(sig)
+        return changed
+
+    def _settle(self) -> None:
+        """Run the delta loop until no signal changes."""
+        changed = self._commit_all()
+        deltas = 0
+        while changed:
+            deltas += 1
+            if deltas > MAX_DELTAS:
+                names = ", ".join(s.name for s in changed[:5])
+                raise DeltaOverflowError(
+                    f"combinational logic did not settle after {MAX_DELTAS} "
+                    f"delta cycles (still toggling: {names})"
+                )
+            woken: List[int] = []
+            seen: Set[int] = set()
+            for sig in changed:
+                for idx in self._sensitivity.get(sig, ()):
+                    if idx not in seen:
+                        seen.add(idx)
+                        woken.append(idx)
+            for idx in woken:
+                self.active_process = self._comb[idx]
+                self._comb[idx]()
+            self.active_process = None
+            changed = self._commit_all()
+
+    # -- running ---------------------------------------------------------------
+
+    def elaborate(self) -> None:
+        """Freeze the design, run every combinational process once, settle."""
+        if self._elaborated:
+            raise ElaborationError("elaborate() called twice")
+        self._elaborated = True
+        for tracer in self._tracers:
+            for sig in self.signals:
+                tracer.declare(sig)
+        for idx, proc in enumerate(self._comb):
+            self.active_process = proc
+            proc()
+        self.active_process = None
+        self._settle()
+
+    def step(self) -> None:
+        """Advance one clock cycle: posedge, commit, settle, sample."""
+        if not self._elaborated:
+            raise ElaborationError("call elaborate() before step()")
+        if self._finished:
+            raise SimulatorError("simulation already finished")
+        for proc in self._clocked:
+            self.active_process = proc
+            proc()
+        self.active_process = None
+        self._settle()
+        for tracer in self._tracers:
+            tracer.sample(self.now, self.signals)
+        self.now += 1
+
+    def run(self, cycles: int) -> None:
+        """Run ``cycles`` clock cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    def run_until(self, predicate: Callable[[], bool], max_cycles: int) -> int:
+        """Run until ``predicate()`` is true (checked after each cycle).
+
+        Returns the number of cycles executed; raises
+        :class:`SimulatorError` if the predicate never became true.
+        """
+        for executed in range(1, max_cycles + 1):
+            self.step()
+            if predicate():
+                return executed
+        raise SimulatorError(
+            f"condition not reached within {max_cycles} cycles"
+        )
+
+    def finish(self) -> None:
+        """End the simulation and flush tracers. Idempotent."""
+        if self._finished:
+            return
+        self._finished = True
+        for tracer in self._tracers:
+            tracer.finish(self.now)

@@ -1,0 +1,5 @@
+"""The past flow: the directed, checker-less baseline testbench."""
+
+from .basic_tb import OldFlowResult, PastFlowTestbench, run_past_flow
+
+__all__ = ["PastFlowTestbench", "OldFlowResult", "run_past_flow"]

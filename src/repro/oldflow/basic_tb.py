@@ -1,0 +1,164 @@
+"""The past flow — the baseline the paper's methodology replaced.
+
+Section 2: "the verification of the BCA models ... was based on a very
+basic model of harnesses written in SystemC and doing write then read
+operations towards a memory model.  The tests cases were directive ...
+And a lot of checks were done visually. ... The test bench was also not
+strong enough to reach corner cases."
+
+This testbench reproduces those limitations on purpose:
+
+- a **single initiator** drives directed, full-width, aligned
+  write-then-read pairs to one target at a time;
+- the only automatic check is read-data == written-data on that one path;
+- no protocol checkers, no scoreboard, no coverage, no arbitration
+  reference, no alignment comparison.
+
+The bug-detection benchmark (experiment E2) runs this against each seeded
+BCA bug and shows it reports PASS on all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..bca.node import BcaNode
+from ..catg.bfm import InitiatorBfm
+from ..catg.target import TargetHarness
+from ..kernel import Module, Simulator
+from ..rtl.node import RtlNode
+from ..stbus import (
+    NodeConfig,
+    Opcode,
+    StbusPort,
+    Transaction,
+    Type1Port,
+    response_data_from_cells,
+)
+
+
+@dataclass
+class OldFlowResult:
+    """What the past flow can tell you: its one check, pass or fail."""
+
+    view: str
+    passed: bool
+    timed_out: bool
+    n_pairs: int
+    mismatches: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return (
+            f"{status} past-flow/{self.view}: {self.n_pairs} write-read "
+            f"pairs, {len(self.mismatches)} data mismatches"
+            + (" (TIMEOUT)" if self.timed_out else "")
+        )
+
+
+class PastFlowTestbench:
+    """Directed single-initiator write-then-read testbench."""
+
+    def __init__(self, config: NodeConfig, view: str = "bca", bugs=()):
+        self.config = config
+        self.view = view
+        self.sim = Simulator()
+        self.top = Module(self.sim, "oldtb")
+        width = config.data_width_bits
+        self.init_ports = [
+            StbusPort(self.top, f"init{i}", width)
+            for i in range(config.n_initiators)
+        ]
+        self.targ_ports = [
+            StbusPort(self.top, f"targ{t}", width)
+            for t in range(config.n_targets)
+        ]
+        self.prog_port = (
+            Type1Port(self.top, "prog") if config.has_programming_port else None
+        )
+        if view == "rtl":
+            self.dut = RtlNode(self.sim, "dut", config, self.init_ports,
+                               self.targ_ports, prog_port=self.prog_port,
+                               parent=self.top)
+        else:
+            self.dut = BcaNode(self.sim, "dut", config, self.init_ports,
+                               self.targ_ports, prog_port=self.prog_port,
+                               parent=self.top, bugs=bugs)
+        # Only initiator 0 is ever driven — the model owner's harness.
+        self.bfm = InitiatorBfm(self.sim, "bfm0", self.init_ports[0],
+                                config.protocol_type, parent=self.top)
+        self.targets = [
+            TargetHarness(self.sim, f"mem{t}", self.targ_ports[t],
+                          config.protocol_type, latency=2, seed=77 + t,
+                          parent=self.top)
+            for t in range(config.n_targets)
+        ]
+        self._expected: List[Tuple[bytes, int]] = []  # (data, address)
+
+    def build_program(self, pairs_per_target: int = 4) -> None:
+        """Directed full-width write-then-read sweeps (the old test plan)."""
+        size = self.config.bus_bytes  # always bus width, always aligned
+        if size > 64:
+            size = 64
+        program = []
+        amap = self.config.resolved_map
+        for target in self.config.reachable_targets(0):
+            region = amap.region_of(target)
+            for k in range(pairs_per_target):
+                address = region.base + (k * size) % (region.size - size)
+                address -= address % size
+                data = bytes(((0x10 + target + k + j) & 0xFF)
+                             for j in range(size))
+                program.append(
+                    (Transaction(Opcode.store(size), address, data=data), 0)
+                )
+                program.append(
+                    (Transaction(Opcode.load(size), address), 0)
+                )
+                self._expected.append((data, address))
+        self.bfm.load_program(program)
+
+    def run(self, max_cycles: int = 20000) -> OldFlowResult:
+        self.sim.elaborate()
+        timed_out = True
+        for _ in range(max_cycles):
+            self.sim.step()
+            if self.bfm.done and \
+                    len(self.bfm.response_packets) >= 2 * len(self._expected):
+                timed_out = False
+                break
+        self.sim.run(10)
+        self.sim.finish()
+        mismatches: List[str] = []
+        size = min(self.config.bus_bytes, 64)
+        for idx, (data, address) in enumerate(self._expected):
+            resp_idx = idx * 2 + 1  # responses alternate store/load
+            if resp_idx >= len(self.bfm.response_packets):
+                mismatches.append(f"pair {idx}: no load response")
+                continue
+            cells = self.bfm.response_packets[resp_idx]
+            got = response_data_from_cells(
+                cells, Opcode.load(size), self.config.bus_bytes,
+                address=address,
+            )
+            if got != data:
+                mismatches.append(
+                    f"pair {idx} @{address:#x}: wrote {data.hex()}, "
+                    f"read {got.hex()}"
+                )
+        return OldFlowResult(
+            view=self.view,
+            passed=not mismatches and not timed_out,
+            timed_out=timed_out,
+            n_pairs=len(self._expected),
+            mismatches=mismatches,
+        )
+
+
+def run_past_flow(config: NodeConfig, view: str = "bca", bugs=(),
+                  pairs_per_target: int = 4) -> OldFlowResult:
+    """Convenience wrapper: build, program and run the past flow."""
+    tb = PastFlowTestbench(config, view=view, bugs=bugs)
+    tb.build_program(pairs_per_target)
+    return tb.run()

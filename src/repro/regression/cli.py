@@ -1,0 +1,72 @@
+"""Command-line front-end for the regression tool (batch mode).
+
+The original tool's GUI "receives configuration parameters" and "runs
+regression tests in batch mode"; this is the batch half.  Usage::
+
+    python -m repro.regression CONFIG_DIR --workdir OUT
+        [--tests t02_random_uniform ...] [--seeds 1 2]
+        [--bugs lru-recency-stuck ...] [--no-compare]
+
+``CONFIG_DIR`` holds the ``*.cfg`` HDL-parameter files ("it's sufficient
+to indicate the directory").  Exit status 0 means every configuration
+signed off.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..bca import ALL_BUGS
+from ..stbus import ConfigError
+from .configs import load_config_dir
+from .runner import RegressionRunner
+from .testcases import TESTCASES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.regression",
+        description="Run the common verification regression: the same "
+                    "seeded test suite on the RTL and BCA views of every "
+                    "configuration, with VCD dumps and bus-accurate "
+                    "comparison.",
+    )
+    parser.add_argument("config_dir",
+                        help="directory of *.cfg HDL-parameter files")
+    parser.add_argument("--workdir", default=None,
+                        help="output directory for VCDs and reports "
+                             "(omit to skip dumping and comparison)")
+    parser.add_argument("--tests", nargs="*", default=None,
+                        choices=sorted(TESTCASES), metavar="TEST",
+                        help="test cases to run (default: all twelve)")
+    parser.add_argument("--seeds", nargs="*", type=int, default=[1, 2],
+                        help="seeds applied to every test (default: 1 2)")
+    parser.add_argument("--bugs", nargs="*", default=(),
+                        choices=sorted(ALL_BUGS), metavar="BUG",
+                        help="seed these bugs into the BCA view "
+                             "(experiments only)")
+    parser.add_argument("--no-compare", action="store_true",
+                        help="skip the bus-accurate comparison")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        configs = load_config_dir(args.config_dir)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    runner = RegressionRunner(
+        configs,
+        tests=args.tests,
+        seeds=args.seeds,
+        workdir=args.workdir,
+        compare_waveforms=not args.no_compare,
+        bca_bugs=set(args.bugs),
+    )
+    report = runner.run()
+    print(report.render(), end="")
+    return 0 if report.all_signed_off else 1

@@ -1,0 +1,124 @@
+"""Configuration handling for the regression tool.
+
+"Since Node has many configurations, regression tool can load text files
+defining HDL parameters of each of them.  It's sufficient to indicate the
+directory to which the tool has to point."  And: "More than 36
+configurations of the Node have been tested."
+
+:func:`load_config_dir` reads ``*.cfg`` files;
+:func:`configuration_matrix` generates the 36+ configuration sweep used by
+experiment E1.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from ..stbus import (
+    Architecture,
+    ArbitrationPolicy,
+    ConfigError,
+    NodeConfig,
+    ProtocolType,
+)
+
+
+def load_config_dir(path: str) -> List[NodeConfig]:
+    """Parse every ``*.cfg`` file in ``path`` (sorted by file name)."""
+    if not os.path.isdir(path):
+        raise ConfigError(f"{path!r} is not a directory")
+    configs = []
+    for entry in sorted(os.listdir(path)):
+        if not entry.endswith(".cfg"):
+            continue
+        full = os.path.join(path, entry)
+        with open(full, "r", encoding="utf-8") as handle:
+            config = NodeConfig.from_text(handle.read())
+        if config.name == "node":  # default: take it from the file name
+            config.name = os.path.splitext(entry)[0]
+        configs.append(config)
+    if not configs:
+        raise ConfigError(f"no *.cfg files found in {path!r}")
+    return configs
+
+
+def save_config_dir(configs: List[NodeConfig], path: str) -> None:
+    """Write one ``<name>.cfg`` per configuration (the tool's format)."""
+    os.makedirs(path, exist_ok=True)
+    for config in configs:
+        with open(os.path.join(path, f"{config.name}.cfg"), "w",
+                  encoding="utf-8") as handle:
+            handle.write(config.to_text())
+
+
+def _full_connectivity_minus_one(n_init: int, n_targ: int) -> frozenset:
+    """A partial-crossbar pattern: all paths except (last init, first targ)."""
+    paths = {
+        (i, t) for i in range(n_init) for t in range(n_targ)
+        if not (i == n_init - 1 and t == 0)
+    }
+    return frozenset(paths)
+
+
+def configuration_matrix(small: bool = False) -> List[NodeConfig]:
+    """The >36-configuration sweep of Section 5.
+
+    Covers both protocol types, port-count shapes up to 8x4, data widths
+    32..128, all three architectures and all six arbitration policies.
+    ``small=True`` returns a reduced (but still representative) subset for
+    quick smoke runs.
+    """
+    configs: List[NodeConfig] = []
+
+    def add(**kwargs) -> None:
+        index = len(configs)
+        arch = kwargs.get("architecture", Architecture.FULL_CROSSBAR)
+        if arch is Architecture.PARTIAL_CROSSBAR and "connectivity" not in kwargs:
+            kwargs["connectivity"] = _full_connectivity_minus_one(
+                kwargs.get("n_initiators", 2), kwargs.get("n_targets", 2)
+            )
+        name = (
+            f"cfg{index:02d}_t{kwargs.get('protocol_type', ProtocolType.T2).value}"
+            f"_{kwargs.get('n_initiators', 2)}x{kwargs.get('n_targets', 2)}"
+            f"_w{kwargs.get('data_width_bits', 32)}"
+            f"_{arch.value.split('_')[0]}"
+            f"_{kwargs.get('arbitration', ArbitrationPolicy.FIXED_PRIORITY).value}"
+        )
+        configs.append(NodeConfig(name=name, **kwargs))
+
+    protocols = [ProtocolType.T2, ProtocolType.T3]
+    # 1. Arbitration sweep: every policy under both protocols (12).
+    for protocol in protocols:
+        for policy in ArbitrationPolicy:
+            add(protocol_type=protocol, n_initiators=3, n_targets=2,
+                arbitration=policy,
+                has_programming_port=policy in (
+                    ArbitrationPolicy.PROGRAMMABLE_PRIORITY,
+                    ArbitrationPolicy.LATENCY_BASED,
+                ))
+    # 2. Architecture sweep (6).
+    for protocol in protocols:
+        for arch in Architecture:
+            add(protocol_type=protocol, n_initiators=2, n_targets=2,
+                architecture=arch,
+                arbitration=ArbitrationPolicy.ROUND_ROBIN)
+    # 3. Data width sweep (8).
+    for protocol in protocols:
+        for width in (8, 32, 64, 128):
+            add(protocol_type=protocol, n_initiators=2, n_targets=2,
+                data_width_bits=width)
+    # 4. Port-count shapes (8).
+    for protocol in protocols:
+        for n_init, n_targ in ((1, 1), (4, 2), (2, 4), (8, 4)):
+            add(protocol_type=protocol, n_initiators=n_init,
+                n_targets=n_targ, arbitration=ArbitrationPolicy.LRU)
+    # 5. Pipe depth / outstanding credit variants (4).
+    for protocol in protocols:
+        add(protocol_type=protocol, n_initiators=2, n_targets=2,
+            pipe_depth=3)
+        add(protocol_type=protocol, n_initiators=2, n_targets=2,
+            max_outstanding=1)
+    if small:
+        return configs[:8]
+    return configs

@@ -1,0 +1,162 @@
+"""The common verification flow of Figures 4 and 5, as a state machine.
+
+Figure 4: functional specifications → verification implementation → RTL
+and BCA model verification in parallel (looping while the functional spec
+is unstable or coverage is not full) → bus-accurate comparison (looping
+back into BCA verification while the alignment rate is low) → sign-off.
+
+:class:`CommonVerificationFlow` drives a :class:`RegressionRunner` through
+those states for one configuration, recording the transition history —
+the executable form of the paper's flow diagram, used by
+``examples/common_flow.py`` and the E3/E6 benches.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..analyzer import SIGNOFF_THRESHOLD
+from ..stbus import NodeConfig
+from .runner import ConfigReport, RegressionRunner
+
+
+class FlowState(enum.Enum):
+    """The boxes of Figure 4."""
+
+    FUNCTIONAL_SPEC = "functional_specifications"
+    VERIFICATION_IMPL = "verification_implementation"
+    MODEL_VERIFICATION = "rtl_and_bca_verification"
+    BUS_ACCURATE_COMPARISON = "bus_accurate_comparison"
+    SIGNED_OFF = "signed_off"
+
+
+@dataclass
+class FlowEvent:
+    """One transition taken by the flow."""
+
+    state: FlowState
+    detail: str
+
+
+@dataclass
+class FlowOutcome:
+    """Where the flow ended and why."""
+
+    signed_off: bool
+    iterations: int
+    history: List[FlowEvent]
+    final_report: Optional[ConfigReport]
+
+    def render(self) -> str:
+        lines = [
+            f"Common verification flow: "
+            f"{'SIGNED OFF' if self.signed_off else 'stopped'} after "
+            f"{self.iterations} verification iteration(s)"
+        ]
+        for event in self.history:
+            lines.append(f"  [{event.state.value}] {event.detail}")
+        return "\n".join(lines) + "\n"
+
+
+class CommonVerificationFlow:
+    """Executable Figure 4/5 for one node configuration.
+
+    ``fix_bca`` models the "low alignment rate → fix the BCA model" loop:
+    it is called with the current bug set and returns the bug set of the
+    next BCA drop (an empty set is the fixed model).
+    """
+
+    def __init__(
+        self,
+        config: NodeConfig,
+        tests: Optional[Sequence[str]] = None,
+        seeds: Sequence[int] = (1,),
+        workdir: Optional[str] = None,
+        initial_bca_bugs: Sequence[str] = (),
+        max_iterations: int = 4,
+    ):
+        self.config = config
+        self.tests = tests
+        self.seeds = seeds
+        self.workdir = workdir
+        self.bca_bugs = frozenset(initial_bca_bugs)
+        self.max_iterations = max_iterations
+        self.history: List[FlowEvent] = []
+        self.state = FlowState.FUNCTIONAL_SPEC
+
+    def _enter(self, state: FlowState, detail: str) -> None:
+        self.state = state
+        self.history.append(FlowEvent(state, detail))
+
+    def _extend_suite(self) -> None:
+        """Grow the suite toward full coverage: first add the missing test
+        cases, then extra seeds — the 'develop specific test files' loop."""
+        from .testcases import TESTCASES
+
+        current = list(self.tests) if self.tests is not None \
+            else list(TESTCASES)
+        missing = [name for name in TESTCASES if name not in current]
+        if missing:
+            self.tests = current + missing
+        else:
+            self.seeds = list(self.seeds) + [max(self.seeds) + 1]
+
+    def _run_regression(self) -> ConfigReport:
+        runner = RegressionRunner(
+            [self.config], tests=self.tests, seeds=self.seeds,
+            workdir=self.workdir, bca_bugs=self.bca_bugs,
+        )
+        return runner.run().configs[0]
+
+    def execute(self) -> FlowOutcome:
+        """Run the flow to sign-off (or give up after max_iterations)."""
+        self._enter(FlowState.FUNCTIONAL_SPEC, "specification signed off")
+        self._enter(
+            FlowState.VERIFICATION_IMPL,
+            "common environment built from the functional spec only",
+        )
+        report: Optional[ConfigReport] = None
+        for iteration in range(1, self.max_iterations + 1):
+            self._enter(
+                FlowState.MODEL_VERIFICATION,
+                f"iteration {iteration}: same seeded suite on RTL and BCA "
+                f"(BCA bugs present: {sorted(self.bca_bugs) or 'none'})",
+            )
+            report = self._run_regression()
+            if not report.all_passed:
+                failed = [e for e in report.entries if not e.both_passed]
+                self._enter(
+                    FlowState.MODEL_VERIFICATION,
+                    f"checkers failed on {len(failed)} run(s): fix the BCA "
+                    "model and re-verify",
+                )
+                self.bca_bugs = frozenset()  # the fix
+                continue
+            if not report.full_functional_coverage:
+                self._enter(
+                    FlowState.MODEL_VERIFICATION,
+                    "functional coverage below 100%: extend the test suite",
+                )
+                self._extend_suite()
+                continue
+            self._enter(
+                FlowState.BUS_ACCURATE_COMPARISON,
+                f"full coverage reached; comparing VCDs "
+                f"(min port rate {report.min_alignment * 100:.2f}%)",
+            )
+            if report.min_alignment < SIGNOFF_THRESHOLD:
+                self._enter(
+                    FlowState.MODEL_VERIFICATION,
+                    "low alignment rate: fix the BCA model and re-verify",
+                )
+                self.bca_bugs = frozenset()  # the fix
+                continue
+            self._enter(
+                FlowState.SIGNED_OFF,
+                f"all ports >= {SIGNOFF_THRESHOLD * 100:.0f}%: BCA model "
+                "signed off",
+            )
+            return FlowOutcome(True, iteration, self.history, report)
+        return FlowOutcome(False, self.max_iterations, self.history, report)

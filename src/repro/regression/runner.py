@@ -1,0 +1,283 @@
+"""The regression tool (batch mode).
+
+"The regression tool, which is developed internally to run regression
+flow, generates and compiles these files. ... It runs regression tests in
+batch mode, through generic scripts that are design independent.  For each
+test file associated with the test seed, a verification report and a
+functional coverage one are generated.  Moreover, an associated VCD file
+... is generated so that it can be used later for bus accurate comparison.
+... It applies same test cases on both [models] with same seeds.  So that
+it can later proceed to alignment comparison activity, if all checkers
+passed."
+
+The GUI of the original tool is replaced by this programmatic API (and the
+``examples/`` scripts); everything else — same tests, same seeds, both
+views, VCD dumps, reports, automatic analyzer invocation — is here.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..analyzer import AlignmentReport, compare_vcds
+from ..catg.coverage import CoverageModel, build_node_coverage
+from ..catg.env import RunResult, run_test
+from ..stbus import NodeConfig
+from .testcases import TESTCASES, build_test
+
+
+@dataclass
+class TestEntry:
+    """One (config, test, seed): both view runs plus the comparison."""
+
+    config_name: str
+    test_name: str
+    seed: int
+    rtl: RunResult
+    bca: RunResult
+    alignment: Optional[AlignmentReport] = None
+
+    @property
+    def both_passed(self) -> bool:
+        return self.rtl.passed and self.bca.passed
+
+    @property
+    def coverage_equal(self) -> bool:
+        """The paper's requirement: same tests => equal functional coverage."""
+        return (
+            self.rtl.coverage.hit_signature()
+            == self.bca.coverage.hit_signature()
+        )
+
+    def summary(self) -> str:
+        align = (
+            f" align={self.alignment.min_rate * 100:.2f}%"
+            if self.alignment is not None else ""
+        )
+        status = "PASS" if self.both_passed else "FAIL"
+        return (
+            f"{status} {self.config_name} {self.test_name} seed={self.seed}"
+            f" rtl={'ok' if self.rtl.passed else 'FAIL'}"
+            f" bca={'ok' if self.bca.passed else 'FAIL'}"
+            f" cov_eq={'yes' if self.coverage_equal else 'NO'}{align}"
+        )
+
+
+@dataclass
+class ConfigReport:
+    """Regression outcome for one node configuration."""
+
+    config: NodeConfig
+    entries: List[TestEntry] = field(default_factory=list)
+    rtl_coverage: Optional[CoverageModel] = None
+    bca_coverage: Optional[CoverageModel] = None
+
+    @property
+    def all_passed(self) -> bool:
+        return all(entry.both_passed for entry in self.entries)
+
+    @property
+    def full_functional_coverage(self) -> bool:
+        return (
+            self.rtl_coverage is not None
+            and self.rtl_coverage.percent >= 100.0
+            and self.bca_coverage is not None
+            and self.bca_coverage.percent >= 100.0
+        )
+
+    @property
+    def min_alignment(self) -> float:
+        rates = [
+            entry.alignment.min_rate
+            for entry in self.entries if entry.alignment is not None
+        ]
+        return min(rates) if rates else 1.0
+
+    @property
+    def signed_off(self) -> bool:
+        """The flow's BCA sign-off: everything green, coverage full, every
+        port of every run at or above the 99% alignment threshold."""
+        from ..analyzer import SIGNOFF_THRESHOLD
+
+        return (
+            self.all_passed
+            and self.full_functional_coverage
+            and self.min_alignment >= SIGNOFF_THRESHOLD
+            and all(entry.coverage_equal for entry in self.entries)
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"Configuration {self.config.name}: "
+            f"{'SIGNED OFF' if self.signed_off else 'not signed off'}",
+            f"  tests: {len(self.entries)}, all passed: {self.all_passed}",
+        ]
+        if self.rtl_coverage is not None:
+            lines.append(
+                f"  functional coverage: rtl {self.rtl_coverage.percent:.1f}%"
+                f" bca {self.bca_coverage.percent:.1f}%"
+            )
+        lines.append(f"  min port alignment: {self.min_alignment * 100:.2f}%")
+        for entry in self.entries:
+            lines.append("  " + entry.summary())
+        return "\n".join(lines) + "\n"
+
+
+@dataclass
+class RegressionReport:
+    """Whole-regression outcome across all configurations."""
+
+    configs: List[ConfigReport] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def all_signed_off(self) -> bool:
+        return all(config.signed_off for config in self.configs)
+
+    @property
+    def n_runs(self) -> int:
+        return 2 * sum(len(c.entries) for c in self.configs)
+
+    def render(self) -> str:
+        lines = [
+            f"Regression: {len(self.configs)} configurations, "
+            f"{self.n_runs} runs, {self.wall_seconds:.1f}s",
+            f"All signed off: {self.all_signed_off}",
+        ]
+        for config in self.configs:
+            status = "SIGNED OFF" if config.signed_off else "NOT SIGNED OFF"
+            lines.append(
+                f"  {config.config.name:<48} {status} "
+                f"(align {config.min_alignment * 100:6.2f}%, "
+                f"cov rtl {config.rtl_coverage.percent:5.1f}% / "
+                f"bca {config.bca_coverage.percent:5.1f}%)"
+            )
+        return "\n".join(lines) + "\n"
+
+
+class RegressionRunner:
+    """Runs the same seeded suite on both views and compares the dumps.
+
+    Parameters
+    ----------
+    configs:
+        Node configurations (e.g. from
+        :func:`~repro.regression.configs.load_config_dir` or
+        :func:`~repro.regression.configs.configuration_matrix`).
+    tests:
+        Test-case names (default: all twelve).
+    seeds:
+        Seeds applied to *every* test on *both* views.
+    workdir:
+        Where VCDs and text reports go; None disables VCD dumping (and
+        therefore alignment comparison).
+    bca_bugs:
+        Seeded bugs for the BCA view (experiments only).
+    """
+
+    def __init__(
+        self,
+        configs: Sequence[NodeConfig],
+        tests: Optional[Iterable[str]] = None,
+        seeds: Sequence[int] = (1,),
+        workdir: Optional[str] = None,
+        compare_waveforms: bool = True,
+        bca_bugs=(),
+        with_arbitration_checker: bool = True,
+    ):
+        self.configs = list(configs)
+        self.tests = list(tests) if tests is not None else list(TESTCASES)
+        unknown = set(self.tests) - set(TESTCASES)
+        if unknown:
+            raise KeyError(f"unknown test cases: {sorted(unknown)}")
+        self.seeds = list(seeds)
+        self.workdir = workdir
+        self.compare_waveforms = compare_waveforms and workdir is not None
+        self.bca_bugs = bca_bugs
+        self.with_arbitration_checker = with_arbitration_checker
+        if workdir:
+            os.makedirs(workdir, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------------
+
+    def _vcd_path(self, config: NodeConfig, test: str, seed: int,
+                  view: str) -> Optional[str]:
+        if not self.workdir:
+            return None
+        return os.path.join(
+            self.workdir, f"{config.name}__{test}__s{seed}__{view}.vcd"
+        )
+
+    # -- execution --------------------------------------------------------------
+
+    def _write_run_reports(self, config: NodeConfig, test_name: str,
+                           seed: int, result: RunResult) -> None:
+        """Per-(test, seed) artifacts: "a verification report and a
+        functional coverage one are generated" (Section 4)."""
+        if not self.workdir:
+            return
+        stem = os.path.join(
+            self.workdir,
+            f"{config.name}__{test_name}__s{seed}__{result.view}",
+        )
+        with open(stem + ".report.txt", "w", encoding="utf-8") as handle:
+            handle.write(result.report.render())
+        with open(stem + ".coverage.txt", "w", encoding="utf-8") as handle:
+            handle.write(result.coverage.render())
+
+    def run_one(self, config: NodeConfig, test_name: str,
+                seed: int) -> TestEntry:
+        """One (config, test, seed) on both views + alignment."""
+        test = build_test(test_name, config, seed)
+        rtl_vcd = self._vcd_path(config, test_name, seed, "rtl")
+        bca_vcd = self._vcd_path(config, test_name, seed, "bca")
+        rtl = run_test(config, test, view="rtl", vcd_path=rtl_vcd,
+                       with_arbitration_checker=self.with_arbitration_checker)
+        # Rebuild the test so both views get identical programs (the
+        # factories are deterministic in (config, seed)).
+        test = build_test(test_name, config, seed)
+        bca = run_test(config, test, view="bca", bugs=self.bca_bugs,
+                       vcd_path=bca_vcd,
+                       with_arbitration_checker=self.with_arbitration_checker)
+        self._write_run_reports(config, test_name, seed, rtl)
+        self._write_run_reports(config, test_name, seed, bca)
+        entry = TestEntry(config.name, test_name, seed, rtl, bca)
+        if self.compare_waveforms and rtl_vcd and bca_vcd:
+            # "It can later proceed to alignment comparison activity, if
+            # all checkers passed" — compare unconditionally here so the
+            # benches can also report rates for failing (buggy) runs.
+            entry.alignment = compare_vcds(rtl_vcd, bca_vcd)
+        return entry
+
+    def run_config(self, config: NodeConfig) -> ConfigReport:
+        report = ConfigReport(config)
+        report.rtl_coverage = build_node_coverage(config)
+        report.bca_coverage = build_node_coverage(config)
+        for test_name in self.tests:
+            for seed in self.seeds:
+                entry = self.run_one(config, test_name, seed)
+                report.entries.append(entry)
+                report.rtl_coverage.merge(entry.rtl.coverage)
+                report.bca_coverage.merge(entry.bca.coverage)
+        if self.workdir:
+            path = os.path.join(self.workdir, f"{config.name}__report.txt")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(report.render())
+                handle.write("\n")
+                handle.write(report.rtl_coverage.render())
+        return report
+
+    def run(self) -> RegressionReport:
+        started = time.perf_counter()
+        report = RegressionReport()
+        for config in self.configs:
+            report.configs.append(self.run_config(config))
+        report.wall_seconds = time.perf_counter() - started
+        if self.workdir:
+            path = os.path.join(self.workdir, "regression_summary.txt")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(report.render())
+        return report

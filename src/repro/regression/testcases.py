@@ -1,0 +1,297 @@
+"""The twelve generic node test cases.
+
+Section 5: "Twelve test cases have been developed to cover the tests of
+all main features of the node such as out of order traffic or latency
+based arbitration.  They allow initiators to generate semi-random traffic.
+... The test cases are generic and depend on some HDL parameters.  They
+can be reused for all configurations of the Node."
+
+Each test case is a factory ``(config, seed) -> TestProgram``.  The same
+program (same seed) is applied to the RTL and the BCA view; the regression
+tool then compares the VCDs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Tuple
+
+from ..catg.sequence import (
+    ProgOp,
+    TestProgram,
+    directed_write_read_pairs,
+    random_program,
+    random_transaction,
+)
+from ..stbus import NodeConfig, OpKind, Opcode, Transaction
+
+TestFactory = Callable[[NodeConfig, int], TestProgram]
+
+#: Baseline transactions per initiator (scaled down for very wide configs
+#: to keep regression wall-clock bounded).
+def _txn_budget(config: NodeConfig, base: int = 12) -> int:
+    ports = config.n_initiators + config.n_targets
+    if ports > 16:
+        return max(4, base // 3)
+    if ports > 8:
+        return max(6, base // 2)
+    if ports <= 2:
+        # A lone initiator needs a longer program to reach every random
+        # coverage bin on its own.
+        return base * 2
+    return base
+
+
+def _flat_latencies(config: NodeConfig, latency: int = 2) -> List[int]:
+    return [latency] * config.n_targets
+
+def _spread_latencies(config: NodeConfig, step: int = 8) -> List[int]:
+    """Targets of very different speeds (provokes out-of-order traffic)."""
+    return [1 + step * t for t in range(config.n_targets)]
+
+
+def t01_sanity_write_read(config: NodeConfig, seed: int) -> TestProgram:
+    """Directed write-then-read pairs from every initiator to every
+    reachable target — the bring-up test."""
+    programs = []
+    for i in range(config.n_initiators):
+        program: List[Tuple[Transaction, int]] = []
+        for target in config.reachable_targets(i):
+            program.extend(
+                directed_write_read_pairs(config, i, target, n_pairs=2,
+                                          size=min(4, config.bus_bytes * 2),
+                                          pattern=seed + i)
+            )
+        programs.append(program)
+    return TestProgram("t01_sanity_write_read", seed, programs,
+                       _flat_latencies(config))
+
+
+def t02_random_uniform(config: NodeConfig, seed: int) -> TestProgram:
+    """Uniform constrained-random mix across all initiators and targets."""
+    rng = random.Random(seed)
+    n = _txn_budget(config, 16)
+    programs = [
+        random_program(config, rng, i, n, gap_range=(0, 3))
+        for i in range(config.n_initiators)
+    ]
+    return TestProgram("t02_random_uniform", seed, programs,
+                       _flat_latencies(config))
+
+
+def t03_out_of_order(config: NodeConfig, seed: int) -> TestProgram:
+    """Short transactions to targets of different speed: forces responses
+    out of order for Type III (and proves Type II keeps order)."""
+    rng = random.Random(seed)
+    n = _txn_budget(config, 14)
+    programs = []
+    for i in range(config.n_initiators):
+        programs.append(
+            random_program(
+                config, rng, i, n, gap_range=(0, 1),
+                mix=((OpKind.LOAD, 4), (OpKind.STORE, 1)), max_size=4,
+            )
+        )
+    return TestProgram("t03_out_of_order", seed, programs,
+                       _spread_latencies(config))
+
+
+def t04_latency_arbitration(config: NodeConfig, seed: int) -> TestProgram:
+    """Sustained contention on the first reachable target so latency
+    budgets (latency-based arbitration) decide the winners."""
+    rng = random.Random(seed)
+    n = _txn_budget(config, 12)
+    programs = []
+    for i in range(config.n_initiators):
+        reachable = config.reachable_targets(i)
+        hot = [reachable[0]] if reachable else []
+        programs.append(
+            random_program(config, rng, i, n, gap_range=(0, 0),
+                           targets=hot, max_size=8)
+        )
+    return TestProgram("t04_latency_arbitration", seed, programs,
+                       _flat_latencies(config, 1))
+
+
+def t05_bandwidth_limits(config: NodeConfig, seed: int) -> TestProgram:
+    """Bus saturation: every initiator streams stores with no gaps so
+    bandwidth allocations bite."""
+    rng = random.Random(seed)
+    n = _txn_budget(config, 12)
+    programs = []
+    for i in range(config.n_initiators):
+        reachable = config.reachable_targets(i)
+        hot = [reachable[i % len(reachable)]] if reachable else []
+        programs.append(
+            random_program(config, rng, i, n, gap_range=(0, 0),
+                           targets=hot,
+                           mix=((OpKind.STORE, 1),), max_size=16)
+        )
+    return TestProgram("t05_bandwidth_limits", seed, programs,
+                       _flat_latencies(config, 1))
+
+
+def t06_lru_fairness(config: NodeConfig, seed: int) -> TestProgram:
+    """Multi-cell packets contending for one target: exactly the traffic
+    where LRU recency bookkeeping (grant vs packet end) matters."""
+    rng = random.Random(seed)
+    n = _txn_budget(config, 10)
+    programs = []
+    for i in range(config.n_initiators):
+        reachable = config.reachable_targets(i)
+        hot = [reachable[0]] if reachable else []
+        programs.append(
+            random_program(
+                config, rng, i, n, gap_range=(0, 1), targets=hot,
+                mix=((OpKind.STORE, 3), (OpKind.LOAD, 1)), max_size=32,
+            )
+        )
+    return TestProgram("t06_lru_fairness", seed, programs,
+                       _flat_latencies(config))
+
+
+def t07_priority_reprogramming(config: NodeConfig, seed: int) -> TestProgram:
+    """Contention while the programming port rewrites arbitration
+    parameters mid-test."""
+    rng = random.Random(seed)
+    n = _txn_budget(config, 14)
+    programs = []
+    for i in range(config.n_initiators):
+        reachable = config.reachable_targets(i)
+        hot = [reachable[0]] if reachable else []
+        programs.append(
+            random_program(config, rng, i, n, gap_range=(0, 1),
+                           targets=hot, max_size=8)
+        )
+    prog_ops: List[ProgOp] = []
+    if config.has_programming_port:
+        for round_idx in range(3):
+            for i in range(config.n_initiators):
+                prog_ops.append(
+                    ProgOp(cycle=40 + 60 * round_idx + 2 * i, index=i,
+                           value=rng.randrange(1, 64))
+                )
+        prog_ops.append(ProgOp(cycle=30, index=0, value=0, is_write=False))
+    return TestProgram("t07_priority_reprogramming", seed, programs,
+                       _flat_latencies(config), prog_ops=prog_ops)
+
+
+def t08_locked_chunks(config: NodeConfig, seed: int) -> TestProgram:
+    """Chunked streams: pairs of packets glued with lck so the slave must
+    stay allocated to one initiator."""
+    rng = random.Random(seed)
+    n_chunks = max(3, _txn_budget(config, 6) // 2)
+    programs = []
+    for i in range(config.n_initiators):
+        program: List[Tuple[Transaction, int]] = []
+        reachable = config.reachable_targets(i)
+        for k in range(n_chunks):
+            target = reachable[k % len(reachable)]
+            first = random_transaction(
+                config, rng, i, targets=[target],
+                mix=((OpKind.STORE, 1),), max_size=8,
+            )
+            first.lck = 1
+            second = random_transaction(
+                config, rng, i, targets=[target],
+                mix=((OpKind.LOAD, 1), (OpKind.STORE, 1)), max_size=8,
+            )
+            program.append((first, rng.randint(0, 2)))
+            program.append((second, rng.randint(0, 1)))
+        programs.append(program)
+    return TestProgram("t08_locked_chunks", seed, programs,
+                       _flat_latencies(config))
+
+
+def t09_mixed_sizes(config: NodeConfig, seed: int) -> TestProgram:
+    """Sub-word and multi-cell operations mixed: exercises byte-enable
+    lanes and burst geometry (where the size-conversion style bugs live)."""
+    rng = random.Random(seed)
+    n = _txn_budget(config, 16)
+    programs = []
+    for i in range(config.n_initiators):
+        programs.append(
+            random_program(
+                config, rng, i, n, gap_range=(0, 2),
+                mix=((OpKind.STORE, 3), (OpKind.LOAD, 3), (OpKind.RMW, 1)),
+            )
+        )
+    return TestProgram("t09_mixed_sizes", seed, programs,
+                       _flat_latencies(config))
+
+
+def t10_hotspot(config: NodeConfig, seed: int) -> TestProgram:
+    """Every initiator hammers the same target back to back."""
+    rng = random.Random(seed)
+    n = _txn_budget(config, 12)
+    programs = []
+    for i in range(config.n_initiators):
+        reachable = config.reachable_targets(i)
+        hot = [reachable[0]] if reachable else []
+        programs.append(
+            random_program(config, rng, i, n, gap_range=(0, 0),
+                           targets=hot, max_size=4)
+        )
+    return TestProgram("t10_hotspot", seed, programs,
+                       _flat_latencies(config, 3))
+
+
+def t11_outstanding(config: NodeConfig, seed: int) -> TestProgram:
+    """Split-transaction pipelining up to the outstanding credit."""
+    rng = random.Random(seed)
+    n = _txn_budget(config, 16)
+    programs = []
+    for i in range(config.n_initiators):
+        targets = config.reachable_targets(i)
+        pool = targets if config.protocol_type.supports_out_of_order \
+            else [targets[i % len(targets)]]
+        programs.append(
+            random_program(
+                config, rng, i, n, gap_range=(0, 0), targets=pool,
+                mix=((OpKind.LOAD, 1),), max_size=4,
+            )
+        )
+    return TestProgram("t11_outstanding", seed, programs,
+                       _flat_latencies(config, 6))
+
+
+def t12_decode_errors(config: NodeConfig, seed: int) -> TestProgram:
+    """Valid traffic interleaved with addresses outside the decoded map:
+    the node's error engine must answer every one of them."""
+    rng = random.Random(seed)
+    n = _txn_budget(config, 14)
+    programs = [
+        random_program(config, rng, i, n, gap_range=(0, 2),
+                       error_probability=0.3, max_size=8)
+        for i in range(config.n_initiators)
+    ]
+    return TestProgram("t12_decode_errors", seed, programs,
+                       _flat_latencies(config))
+
+
+#: The regression suite, in execution order.
+TESTCASES: Dict[str, TestFactory] = {
+    "t01_sanity_write_read": t01_sanity_write_read,
+    "t02_random_uniform": t02_random_uniform,
+    "t03_out_of_order": t03_out_of_order,
+    "t04_latency_arbitration": t04_latency_arbitration,
+    "t05_bandwidth_limits": t05_bandwidth_limits,
+    "t06_lru_fairness": t06_lru_fairness,
+    "t07_priority_reprogramming": t07_priority_reprogramming,
+    "t08_locked_chunks": t08_locked_chunks,
+    "t09_mixed_sizes": t09_mixed_sizes,
+    "t10_hotspot": t10_hotspot,
+    "t11_outstanding": t11_outstanding,
+    "t12_decode_errors": t12_decode_errors,
+}
+
+
+def build_test(name: str, config: NodeConfig, seed: int) -> TestProgram:
+    """Look up and build one named test case."""
+    try:
+        factory = TESTCASES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown test case {name!r}; available: {sorted(TESTCASES)}"
+        )
+    return factory(config, seed)

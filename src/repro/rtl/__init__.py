@@ -1,0 +1,16 @@
+"""RTL view: cycle-accurate, signal-level models of the STBus components."""
+
+from .pipeline import Pipe
+from .node import ERROR_TARGET, RtlNode
+from .converter import RtlBridge, RtlSizeConverter, RtlTypeConverter
+from .register_decoder import RtlRegisterDecoder
+
+__all__ = [
+    "Pipe",
+    "RtlNode",
+    "ERROR_TARGET",
+    "RtlBridge",
+    "RtlSizeConverter",
+    "RtlTypeConverter",
+    "RtlRegisterDecoder",
+]

@@ -1,0 +1,91 @@
+"""Elastic register pipeline used by the RTL node's datapaths.
+
+The node inserts ``pipe_depth`` register stages between the arbitrated
+input and each output port.  The pipeline is *elastic*: a stage advances
+whenever the next stage is free (bubbles collapse), and the whole pipe
+accepts a new payload whenever any stage is free or the output is being
+consumed this cycle — the classic ready-chain:
+
+    ready[D-1] = not valid[D-1] or output_fired
+    ready[k]   = not valid[k]   or ready[k+1]
+
+State lives in plain Python (the stage registers); the surrounding module
+must mirror whatever the grant logic needs into signals or re-evaluate its
+combinational processes every cycle (the node uses a tick signal for
+that).
+"""
+
+from __future__ import annotations
+
+from typing import Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class Pipe(Generic[T]):
+    """``depth`` register stages with bubble collapsing.
+
+    Call pattern per clock edge (from a clocked process):
+
+    1. Read :attr:`output` / :attr:`output_valid` — these reflect the
+       value presented on the port *during the previous cycle*.
+    2. Call :meth:`advance` with whether the output was consumed and the
+       optional newly accepted payload.
+    """
+
+    def __init__(self, depth: int):
+        if depth < 1:
+            raise ValueError("pipe depth must be >= 1")
+        self.depth = depth
+        self._valid: List[bool] = [False] * depth
+        self._data: List[Optional[T]] = [None] * depth
+
+    @property
+    def output_valid(self) -> bool:
+        return self._valid[-1]
+
+    @property
+    def output(self) -> Optional[T]:
+        """Payload at the output stage (None when not valid)."""
+        return self._data[-1] if self._valid[-1] else None
+
+    @property
+    def occupancy(self) -> int:
+        return sum(self._valid)
+
+    def can_accept(self, output_fired: bool) -> bool:
+        """The combinational ready chain seen by the grant logic."""
+        return output_fired or self.occupancy < self.depth
+
+    def advance(self, output_fired: bool, load: Optional[T] = None) -> None:
+        """One clock edge: pop the consumed output, shift, load stage 0.
+
+        ``load`` must only be non-None when :meth:`can_accept` was true in
+        the pre-edge cycle (the grant logic guarantees this); violating it
+        raises ``OverflowError`` to catch node bugs early.
+        """
+        if output_fired:
+            if not self._valid[-1]:
+                raise RuntimeError("output consumed while pipe output invalid")
+            self._valid[-1] = False
+            self._data[-1] = None
+        # Shift from the output backwards so a cell moves at most one stage.
+        for stage in range(self.depth - 1, 0, -1):
+            if not self._valid[stage] and self._valid[stage - 1]:
+                self._valid[stage] = True
+                self._data[stage] = self._data[stage - 1]
+                self._valid[stage - 1] = False
+                self._data[stage - 1] = None
+        if load is not None:
+            if self._valid[0]:
+                raise OverflowError("pipe stage 0 loaded while occupied")
+            self._valid[0] = True
+            self._data[0] = load
+
+    def flush(self) -> None:
+        self._valid = [False] * self.depth
+        self._data = [None] * self.depth
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        cells = ["#" if v else "." for v in self._valid]
+        return f"Pipe[{''.join(cells)}]"

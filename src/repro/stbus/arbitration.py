@@ -1,0 +1,287 @@
+"""Arbitration policies of the STBus node.
+
+Section 3/5: "a wide variety of arbitration policies is available ...
+bandwidth limitation, latency arbitration, LRU, priority-based arbitration
+and others"; the node "supports 6 arbitration types".
+
+The *decision rule* of each policy is part of the functional specification,
+so — like the spec document in the paper — this module is shared by the RTL
+and the BCA views.  Each view instantiates its **own** policy objects (the
+state lives per view); the BCA bug registry can wrap them to inject the
+historical model bugs.
+
+Contract, aligned with packet-level bus arbitration:
+
+- :meth:`Arbiter.pick` — pure decision among currently-requesting port
+  indices, given the policy state.  Called only when the arbitrated
+  resource is free (no packet in progress, no chunk lock).
+- :meth:`Arbiter.on_packet_end` — state update when the winner's packet
+  completes (LRU recency, round-robin pointer, latency reset).
+- :meth:`Arbiter.on_grant_cycle` — per-granted-cycle accounting
+  (bandwidth tokens).
+- :meth:`Arbiter.tick` — per-cycle ageing for all waiting requesters
+  (latency counters, bandwidth replenishment).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Sequence
+
+
+class ArbitrationPolicy(enum.Enum):
+    """The six supported arbitration types."""
+
+    FIXED_PRIORITY = "fixed_priority"
+    PROGRAMMABLE_PRIORITY = "programmable_priority"
+    LRU = "lru"
+    ROUND_ROBIN = "round_robin"
+    LATENCY_BASED = "latency_based"
+    BANDWIDTH_LIMITED = "bandwidth_limited"
+
+
+class Arbiter:
+    """Base class: fixed-priority (lowest index wins)."""
+
+    policy = ArbitrationPolicy.FIXED_PRIORITY
+
+    def __init__(self, n_requesters: int):
+        if n_requesters < 1:
+            raise ValueError("arbiter needs at least one requester")
+        self.n_requesters = n_requesters
+
+    def pick(self, requesting: Sequence[int]) -> int:
+        """Return the winning index among ``requesting`` (non-empty)."""
+        if not requesting:
+            raise ValueError("pick() called with no requesters")
+        return min(requesting)
+
+    def on_packet_end(self, winner: int) -> None:
+        """The winner's packet (or locked chunk) finished."""
+
+    def on_grant_cycle(self, winner: int) -> None:
+        """One cell was transferred by ``winner`` this cycle."""
+
+    def tick(self, requesting: Sequence[int]) -> None:
+        """One clock cycle elapsed; ``requesting`` are still waiting."""
+
+
+class FixedPriorityArbiter(Arbiter):
+    """Static priority by port index: port 0 always beats port 1, etc."""
+
+
+class ProgrammablePriorityArbiter(Arbiter):
+    """Priority registers, writable through the node's programming port.
+
+    Higher priority value wins; ties break toward the lower port index.
+    """
+
+    policy = ArbitrationPolicy.PROGRAMMABLE_PRIORITY
+
+    def __init__(self, n_requesters: int, priorities: Optional[Sequence[int]] = None):
+        super().__init__(n_requesters)
+        if priorities is None:
+            # Default: descending priority by index (port 0 highest).
+            priorities = list(range(n_requesters - 1, -1, -1))
+        if len(priorities) != n_requesters:
+            raise ValueError("one priority per requester required")
+        self.priorities: List[int] = list(priorities)
+
+    def set_priority(self, index: int, priority: int) -> None:
+        self.priorities[index] = priority
+
+    def pick(self, requesting: Sequence[int]) -> int:
+        if not requesting:
+            raise ValueError("pick() called with no requesters")
+        return max(requesting, key=lambda i: (self.priorities[i], -i))
+
+
+class LruArbiter(Arbiter):
+    """Least-recently-used: the requester served longest ago wins.
+
+    Recency updates when the winner's **packet ends** (``on_packet_end``) —
+    the update hook the seeded BCA bug ``lru-recency-stuck`` forgets to
+    call.
+    """
+
+    policy = ArbitrationPolicy.LRU
+
+    def __init__(self, n_requesters: int):
+        super().__init__(n_requesters)
+        # recency[i] = position in the LRU order; lower = less recently used.
+        self._order: List[int] = list(range(n_requesters))
+
+    def pick(self, requesting: Sequence[int]) -> int:
+        if not requesting:
+            raise ValueError("pick() called with no requesters")
+        requesting_set = set(requesting)
+        for index in self._order:
+            if index in requesting_set:
+                return index
+        raise AssertionError("unreachable: requesting not subset of ports")
+
+    def on_packet_end(self, winner: int) -> None:
+        self._order.remove(winner)
+        self._order.append(winner)  # most recently used
+
+    def snapshot(self) -> List[int]:
+        """LRU order, least recent first (for checkers and tests)."""
+        return list(self._order)
+
+
+class RoundRobinArbiter(Arbiter):
+    """Rotating pointer: first requester at or after the pointer wins."""
+
+    policy = ArbitrationPolicy.ROUND_ROBIN
+
+    def __init__(self, n_requesters: int):
+        super().__init__(n_requesters)
+        self._pointer = 0
+
+    def pick(self, requesting: Sequence[int]) -> int:
+        if not requesting:
+            raise ValueError("pick() called with no requesters")
+        requesting_set = set(requesting)
+        for offset in range(self.n_requesters):
+            index = (self._pointer + offset) % self.n_requesters
+            if index in requesting_set:
+                return index
+        raise AssertionError("unreachable")
+
+    def on_packet_end(self, winner: int) -> None:
+        self._pointer = (winner + 1) % self.n_requesters
+
+
+class LatencyArbiter(Arbiter):
+    """Latency-based arbitration: most urgent request wins.
+
+    Each requester has a latency budget; a per-cycle down-counter starts at
+    the budget when a request begins waiting and decrements every cycle.
+    The lowest counter (closest to or beyond its deadline) wins; ties break
+    toward the lower index.  The counter resets when the requester's packet
+    completes.
+    """
+
+    policy = ArbitrationPolicy.LATENCY_BASED
+
+    def __init__(self, n_requesters: int, budgets: Optional[Sequence[int]] = None):
+        super().__init__(n_requesters)
+        if budgets is None:
+            budgets = [16 * (i + 1) for i in range(n_requesters)]
+        if len(budgets) != n_requesters:
+            raise ValueError("one latency budget per requester required")
+        if any(b < 1 for b in budgets):
+            raise ValueError("latency budgets must be >= 1")
+        self.budgets: List[int] = list(budgets)
+        self._counters: List[int] = list(budgets)
+
+    def set_budget(self, index: int, budget: int) -> None:
+        if budget < 1:
+            raise ValueError("latency budget must be >= 1")
+        self.budgets[index] = budget
+
+    def tick(self, requesting: Sequence[int]) -> None:
+        for index in requesting:
+            self._counters[index] -= 1
+
+    def pick(self, requesting: Sequence[int]) -> int:
+        if not requesting:
+            raise ValueError("pick() called with no requesters")
+        return min(requesting, key=lambda i: (self._counters[i], i))
+
+    def on_packet_end(self, winner: int) -> None:
+        self._counters[winner] = self.budgets[winner]
+
+    def urgency(self, index: int) -> int:
+        """Remaining budget (may be negative when overdue)."""
+        return self._counters[index]
+
+
+class BandwidthArbiter(Arbiter):
+    """Bandwidth limitation: allocations replenish a token bucket.
+
+    Every ``window`` cycles each requester receives ``allocation[i]``
+    tokens (capped at one window's worth); transferring a cell costs one
+    token.  Requesters holding tokens beat exhausted ones; within each
+    class, lower index wins.  This caps any port's share of the bus at
+    ``allocation[i] / window`` under contention while letting it burst
+    when the bus is idle.
+    """
+
+    policy = ArbitrationPolicy.BANDWIDTH_LIMITED
+
+    def __init__(
+        self,
+        n_requesters: int,
+        allocations: Optional[Sequence[int]] = None,
+        window: int = 32,
+    ):
+        super().__init__(n_requesters)
+        if allocations is None:
+            allocations = [max(1, window // n_requesters)] * n_requesters
+        if len(allocations) != n_requesters:
+            raise ValueError("one allocation per requester required")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if any(a < 0 for a in allocations):
+            raise ValueError("allocations must be non-negative")
+        self.allocations: List[int] = list(allocations)
+        self.window = window
+        self._tokens: List[int] = list(allocations)
+        self._cycle_in_window = 0
+
+    def tick(self, requesting: Sequence[int]) -> None:
+        self._cycle_in_window += 1
+        if self._cycle_in_window >= self.window:
+            self._cycle_in_window = 0
+            for index, allocation in enumerate(self.allocations):
+                self._tokens[index] = min(
+                    self._tokens[index] + allocation, allocation
+                )
+
+    def pick(self, requesting: Sequence[int]) -> int:
+        if not requesting:
+            raise ValueError("pick() called with no requesters")
+        funded = [i for i in requesting if self._tokens[i] > 0]
+        pool = funded if funded else list(requesting)
+        return min(pool)
+
+    def on_grant_cycle(self, winner: int) -> None:
+        if self._tokens[winner] > 0:
+            self._tokens[winner] -= 1
+
+    def tokens(self, index: int) -> int:
+        return self._tokens[index]
+
+
+def make_arbiter(
+    policy: ArbitrationPolicy,
+    n_requesters: int,
+    *,
+    priorities: Optional[Sequence[int]] = None,
+    latency_budgets: Optional[Sequence[int]] = None,
+    bandwidth_allocations: Optional[Sequence[int]] = None,
+    bandwidth_window: int = 32,
+) -> Arbiter:
+    """Factory: build the policy object a :class:`NodeConfig` describes."""
+    if policy is ArbitrationPolicy.FIXED_PRIORITY:
+        return FixedPriorityArbiter(n_requesters)
+    if policy is ArbitrationPolicy.PROGRAMMABLE_PRIORITY:
+        return ProgrammablePriorityArbiter(n_requesters, priorities)
+    if policy is ArbitrationPolicy.LRU:
+        return LruArbiter(n_requesters)
+    if policy is ArbitrationPolicy.ROUND_ROBIN:
+        return RoundRobinArbiter(n_requesters)
+    if policy is ArbitrationPolicy.LATENCY_BASED:
+        return LatencyArbiter(n_requesters, latency_budgets)
+    if policy is ArbitrationPolicy.BANDWIDTH_LIMITED:
+        return BandwidthArbiter(n_requesters, bandwidth_allocations, bandwidth_window)
+    raise ValueError(f"unknown policy {policy!r}")
+
+
+#: Map from policy to the programming-port register block offset (one
+#: register per initiator, 4 bytes each) — see ``rtl.programming_port``.
+PROGRAMMABLE_POLICIES = (
+    ArbitrationPolicy.PROGRAMMABLE_PRIORITY,
+    ArbitrationPolicy.LATENCY_BASED,
+)

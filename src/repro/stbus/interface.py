@@ -1,0 +1,215 @@
+"""Pin-level STBus interface bundles.
+
+Each DUT port is a bundle of named signals, scoped hierarchically so the
+VCD shows (and the bus analyzer compares) one scope per port — the paper's
+alignment metric is computed "at each port level".
+
+Type II/III bundle (one request channel, one response channel):
+
+=============  ====== ====================================================
+signal          width  meaning
+=============  ====== ====================================================
+``req``          1    request cell valid (held until granted)
+``gnt``          1    request cell accepted this cycle
+``add``         32    byte address
+``opc``          8    operation encoding (:mod:`repro.stbus.opcodes`)
+``data``         W    write data lanes
+``be``          W/8   byte enables
+``eop``          1    last cell of the request packet
+``lck``          1    chunk lock: keep the slave for the next packet
+``tid``          8    transaction id (out-of-order matching, Type III)
+``src``          6    source port tag (driven by the node, target side)
+``pri``          4    request priority hint
+``r_req``        1    response cell valid
+``r_gnt``        1    response cell accepted this cycle
+``r_opc``        8    response opcode (bit 0 = error)
+``r_data``       W    read data lanes
+``r_eop``        1    last cell of the response packet
+``r_src``        6    originating initiator port (reflected by the target)
+``r_tid``        8    reflected transaction id
+=============  ====== ====================================================
+
+A cell transfers on a clock edge where ``req & gnt`` (respectively
+``r_req & r_gnt``) were both high during the preceding cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..kernel import Module, Signal
+from .packet import Cell, RespCell
+from .types import (
+    ADDR_WIDTH,
+    OPC_WIDTH,
+    PRI_WIDTH,
+    R_OPC_WIDTH,
+    SRC_WIDTH,
+    TID_WIDTH,
+)
+
+#: Request-channel payload fields, in (name, width-or-None) form.
+#: None means "data width dependent" (resolved per port).
+REQUEST_FIELDS = (
+    ("add", ADDR_WIDTH),
+    ("opc", OPC_WIDTH),
+    ("data", None),
+    ("be", None),
+    ("eop", 1),
+    ("lck", 1),
+    ("tid", TID_WIDTH),
+    ("src", SRC_WIDTH),
+    ("pri", PRI_WIDTH),
+)
+
+RESPONSE_FIELDS = (
+    ("r_opc", R_OPC_WIDTH),
+    ("r_data", None),
+    ("r_eop", 1),
+    ("r_src", SRC_WIDTH),
+    ("r_tid", TID_WIDTH),
+)
+
+
+class StbusPort:
+    """Type II/III signal bundle scoped as ``<module>.<name>.*``."""
+
+    def __init__(self, module: Module, name: str, width_bits: int):
+        if width_bits % 8:
+            raise ValueError("data width must be a whole number of bytes")
+        self.name = f"{module.name}.{name}"
+        self.width_bits = width_bits
+        self.bus_bytes = width_bits // 8
+        make = module.signal
+        self.req = make(f"{name}.req")
+        self.gnt = make(f"{name}.gnt")
+        self.add = make(f"{name}.add", ADDR_WIDTH)
+        self.opc = make(f"{name}.opc", OPC_WIDTH)
+        self.data = make(f"{name}.data", width_bits)
+        self.be = make(f"{name}.be", max(1, width_bits // 8))
+        self.eop = make(f"{name}.eop")
+        self.lck = make(f"{name}.lck")
+        self.tid = make(f"{name}.tid", TID_WIDTH)
+        self.src = make(f"{name}.src", SRC_WIDTH)
+        self.pri = make(f"{name}.pri", PRI_WIDTH)
+        self.r_req = make(f"{name}.r_req")
+        self.r_gnt = make(f"{name}.r_gnt")
+        self.r_opc = make(f"{name}.r_opc", R_OPC_WIDTH)
+        self.r_data = make(f"{name}.r_data", width_bits)
+        self.r_eop = make(f"{name}.r_eop")
+        self.r_src = make(f"{name}.r_src", SRC_WIDTH)
+        self.r_tid = make(f"{name}.r_tid", TID_WIDTH)
+
+    # -- observation ----------------------------------------------------------
+
+    @property
+    def request_fired(self) -> bool:
+        """A request cell transfers at the next clock edge."""
+        return bool(self.req.value and self.gnt.value)
+
+    @property
+    def response_fired(self) -> bool:
+        return bool(self.r_req.value and self.r_gnt.value)
+
+    def request_cell(self) -> Cell:
+        """Snapshot the request-channel fields as a :class:`Cell`."""
+        return Cell(
+            add=self.add.value,
+            opc=self.opc.value,
+            data=self.data.value,
+            be=self.be.value,
+            eop=self.eop.value,
+            lck=self.lck.value,
+            tid=self.tid.value,
+            src=self.src.value,
+            pri=self.pri.value,
+        )
+
+    def response_cell(self) -> RespCell:
+        return RespCell(
+            r_opc=self.r_opc.value,
+            r_data=self.r_data.value,
+            r_eop=self.r_eop.value,
+            r_src=self.r_src.value,
+            r_tid=self.r_tid.value,
+        )
+
+    # -- driving helpers (used by BFMs and the node's output stages) ----------
+
+    def drive_request(self, cell: Cell) -> None:
+        self.req.drive(1)
+        self.add.drive(cell.add)
+        self.opc.drive(cell.opc)
+        self.data.drive(cell.data)
+        self.be.drive(cell.be)
+        self.eop.drive(cell.eop)
+        self.lck.drive(cell.lck)
+        self.tid.drive(cell.tid)
+        self.src.drive(cell.src)
+        self.pri.drive(cell.pri)
+
+    def idle_request(self) -> None:
+        self.req.drive(0)
+        self.eop.drive(0)
+        self.lck.drive(0)
+
+    def drive_response(self, cell: RespCell) -> None:
+        self.r_req.drive(1)
+        self.r_opc.drive(cell.r_opc)
+        self.r_data.drive(cell.r_data)
+        self.r_eop.drive(cell.r_eop)
+        self.r_src.drive(cell.r_src)
+        self.r_tid.drive(cell.r_tid)
+
+    def idle_response(self) -> None:
+        self.r_req.drive(0)
+        self.r_eop.drive(0)
+
+    def signals(self) -> List[Signal]:
+        """All bundle signals (the analyzer's per-port comparison set)."""
+        return [
+            self.req, self.gnt, self.add, self.opc, self.data, self.be,
+            self.eop, self.lck, self.tid, self.src, self.pri,
+            self.r_req, self.r_gnt, self.r_opc, self.r_data, self.r_eop,
+            self.r_src, self.r_tid,
+        ]
+
+
+#: Type I command encodings (limited command set).
+T1_IDLE = 0
+T1_READ = 1
+T1_WRITE = 2
+
+
+class Type1Port:
+    """Type I bundle: synchronous req/ack handshake, single outstanding.
+
+    Used for register access — in this reproduction, the node's optional
+    programming port and the register decoder component.
+    """
+
+    def __init__(self, module: Module, name: str, width_bits: int = 32):
+        if width_bits % 8:
+            raise ValueError("data width must be a whole number of bytes")
+        self.name = f"{module.name}.{name}"
+        self.width_bits = width_bits
+        self.bus_bytes = width_bits // 8
+        make = module.signal
+        self.req = make(f"{name}.req")
+        self.ack = make(f"{name}.ack")
+        self.opc = make(f"{name}.opc", 2)
+        self.add = make(f"{name}.add", ADDR_WIDTH)
+        self.wdata = make(f"{name}.wdata", width_bits)
+        self.rdata = make(f"{name}.rdata", width_bits)
+        self.be = make(f"{name}.be", max(1, width_bits // 8))
+
+    @property
+    def fired(self) -> bool:
+        """The transfer completes at the next clock edge."""
+        return bool(self.req.value and self.ack.value)
+
+    def signals(self) -> List[Signal]:
+        return [
+            self.req, self.ack, self.opc, self.add,
+            self.wdata, self.rdata, self.be,
+        ]

@@ -1,0 +1,253 @@
+"""Cells, packets and transactions.
+
+STBus Type II/III traffic is packet based: a *transaction* (one operation)
+is a **request packet** travelling initiator→target and a **response
+packet** travelling back.  A packet is a sequence of *cells*; one cell is
+what the bus transfers in one granted clock cycle.  Transactions may be
+grouped into *chunks* via the ``lck`` flag on the last cell, which keeps
+the slave allocated for the next packet of the same initiator.
+
+This module is pure data + geometry: building the per-cycle cell fields
+from a transaction spec and re-assembling data bytes from observed cells.
+Both design views, the BFMs and the monitors share it, exactly as both
+testbenches in the paper share the STBus functional spec.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .opcodes import Opcode, OpKind
+from .types import ProtocolType, R_OPC_ERROR
+
+
+class PacketError(ValueError):
+    """Inconsistent packet construction or re-assembly."""
+
+
+def int_to_bytes(value: int, size: int) -> bytes:
+    """Little-endian fixed-width conversion."""
+    return value.to_bytes(size, "little")
+
+
+def bytes_to_int(data: bytes) -> int:
+    return int.from_bytes(data, "little")
+
+
+@dataclass
+class Cell:
+    """One request-channel beat (the fields sampled when req & gnt)."""
+
+    add: int
+    opc: int
+    data: int = 0
+    be: int = 0
+    eop: int = 0
+    lck: int = 0
+    tid: int = 0
+    src: int = 0
+    pri: int = 0
+
+    def key_fields(self) -> tuple:
+        """Fields compared for protocol-stability checks."""
+        return (self.add, self.opc, self.data, self.be, self.eop,
+                self.lck, self.tid, self.pri)
+
+
+@dataclass
+class RespCell:
+    """One response-channel beat (the fields sampled when r_req & r_gnt)."""
+
+    r_opc: int
+    r_data: int = 0
+    r_eop: int = 0
+    r_src: int = 0
+    r_tid: int = 0
+
+    @property
+    def is_error(self) -> bool:
+        return bool(self.r_opc & R_OPC_ERROR)
+
+    def key_fields(self) -> tuple:
+        return (self.r_opc, self.r_data, self.r_eop, self.r_src, self.r_tid)
+
+
+_txn_ids = itertools.count()
+
+
+@dataclass
+class Transaction:
+    """One STBus operation as the verification environment sees it.
+
+    Built by a sequence/BFM before injection, then progressively annotated
+    by monitors: grant timestamps, the decoded target, observed response
+    data.  The scoreboard compares these annotations across ports.
+    """
+
+    opcode: Opcode
+    address: int
+    data: bytes = b""  # write payload (empty for dataless requests)
+    tid: int = 0
+    pri: int = 0
+    lck: int = 0  # chunk flag on the final request cell
+    initiator: int = 0  # initiator port index
+    uid: int = field(default_factory=lambda: next(_txn_ids))
+
+    # Annotations filled during simulation:
+    target: Optional[int] = None
+    response_data: bytes = b""
+    response_error: bool = False
+    request_start: Optional[int] = None
+    request_end: Optional[int] = None
+    response_start: Optional[int] = None
+    response_end: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.opcode.check_alignment(self.address)
+        if self.opcode.kind.carries_request_data:
+            if len(self.data) != self.opcode.size:
+                raise PacketError(
+                    f"{self.opcode} requires {self.opcode.size} data bytes, "
+                    f"got {len(self.data)}"
+                )
+        elif self.data:
+            raise PacketError(f"{self.opcode} carries no request data")
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Cycles from first request cell to last response cell."""
+        if self.request_start is None or self.response_end is None:
+            return None
+        return self.response_end - self.request_start
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"txn#{self.uid} init{self.initiator} {self.opcode} "
+            f"@{self.address:#x} tid={self.tid}"
+        )
+
+
+def lane_geometry(opcode: Opcode, address: int, bus_bytes: int):
+    """Yield (cell_address, lane_offset, n_bytes) per data cell.
+
+    The burst geometry of an operation: which address, byte-lane offset and
+    byte count each data cell covers.  Checkers recompute it to validate
+    observed cells against the specification.
+    """
+    if opcode.size <= bus_bytes:
+        yield address, address % bus_bytes, opcode.size
+        return
+    for k in range(opcode.size // bus_bytes):
+        yield address + k * bus_bytes, 0, bus_bytes
+
+
+def build_request_cells(
+    txn: Transaction, bus_bytes: int, protocol: ProtocolType
+) -> List[Cell]:
+    """Expand a transaction into its request packet cells."""
+    opc = txn.opcode.encode()
+    n_cells = txn.opcode.request_cells(bus_bytes, protocol)
+    cells: List[Cell] = []
+    geometry = list(lane_geometry(txn.opcode, txn.address, bus_bytes))
+    for idx in range(n_cells):
+        add, offset, n_bytes = geometry[idx] if idx < len(geometry) else geometry[-1]
+        be = ((1 << n_bytes) - 1) << offset
+        data = 0
+        if txn.opcode.kind.carries_request_data:
+            chunk = txn.data[idx * bus_bytes: idx * bus_bytes + n_bytes] \
+                if txn.opcode.size > bus_bytes else txn.data
+            data = bytes_to_int(chunk) << (offset * 8)
+        cells.append(
+            Cell(
+                add=add,
+                opc=opc,
+                data=data,
+                be=be,
+                eop=1 if idx == n_cells - 1 else 0,
+                lck=txn.lck if idx == n_cells - 1 else 0,
+                tid=txn.tid,
+                pri=txn.pri,
+            )
+        )
+    return cells
+
+
+def build_response_cells(
+    opcode: Opcode,
+    bus_bytes: int,
+    protocol: ProtocolType,
+    data: bytes = b"",
+    error: bool = False,
+    src: int = 0,
+    tid: int = 0,
+    address: int = 0,
+) -> List[RespCell]:
+    """Build the response packet for an operation.
+
+    ``data`` is the read payload for data-carrying responses; it must be
+    exactly ``opcode.size`` bytes (or empty on error responses, which pad
+    with zero).
+    """
+    n_cells = opcode.response_cells(bus_bytes, protocol)
+    carries = opcode.kind.carries_response_data
+    if carries and not error and len(data) != opcode.size:
+        raise PacketError(
+            f"{opcode} response needs {opcode.size} data bytes, got {len(data)}"
+        )
+    r_opc = R_OPC_ERROR if error else 0
+    cells: List[RespCell] = []
+    geometry = list(lane_geometry(opcode, address, bus_bytes))
+    for idx in range(n_cells):
+        r_data = 0
+        if carries and not error:
+            _, offset, n_bytes = geometry[idx] if idx < len(geometry) else geometry[-1]
+            chunk = data[idx * bus_bytes: idx * bus_bytes + n_bytes] \
+                if opcode.size > bus_bytes else data
+            r_data = bytes_to_int(chunk) << (offset * 8)
+        cells.append(
+            RespCell(
+                r_opc=r_opc,
+                r_data=r_data,
+                r_eop=1 if idx == n_cells - 1 else 0,
+                r_src=src,
+                r_tid=tid,
+            )
+        )
+    return cells
+
+
+def request_data_from_cells(
+    cells: Sequence[Cell], bus_bytes: int
+) -> bytes:
+    """Re-assemble the write payload from observed request cells."""
+    if not cells:
+        raise PacketError("empty request packet")
+    opcode = Opcode.decode(cells[0].opc)
+    if not opcode.kind.carries_request_data:
+        return b""
+    out = bytearray()
+    for cell in cells[: opcode.data_cells(bus_bytes)]:
+        offset = cell.add % bus_bytes if opcode.size < bus_bytes else 0
+        n_bytes = min(opcode.size, bus_bytes)
+        raw = int_to_bytes(cell.data & ((1 << (bus_bytes * 8)) - 1), bus_bytes)
+        out.extend(raw[offset: offset + n_bytes])
+    return bytes(out[: opcode.size])
+
+
+def response_data_from_cells(
+    cells: Sequence[RespCell], opcode: Opcode, bus_bytes: int, address: int = 0
+) -> bytes:
+    """Re-assemble the read payload from observed response cells."""
+    if not cells:
+        raise PacketError("empty response packet")
+    if not opcode.kind.carries_response_data:
+        return b""
+    out = bytearray()
+    for cell in cells[: opcode.data_cells(bus_bytes)]:
+        offset = address % bus_bytes if opcode.size < bus_bytes else 0
+        n_bytes = min(opcode.size, bus_bytes)
+        raw = int_to_bytes(cell.r_data & ((1 << (bus_bytes * 8)) - 1), bus_bytes)
+        out.extend(raw[offset: offset + n_bytes])
+    return bytes(out[: opcode.size])

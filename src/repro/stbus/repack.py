@@ -1,0 +1,96 @@
+"""Packet repacking — the functional core of size and type conversion.
+
+Section 3: "the STBus provides also the size conversion when the
+initiators and targets have different data bus size" and "type converters
+into the interconnect can be used" so components of different protocol
+types can communicate.
+
+Repacking is pure packet geometry: re-expressing the same operation
+(opcode, address, payload, tags) in the cell geometry of a different bus
+width and/or protocol type.  Like the rest of :mod:`repro.stbus` it is
+specification-level code shared by both design views.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .opcodes import Opcode, OpcodeError
+from .packet import (
+    Cell,
+    RespCell,
+    Transaction,
+    build_request_cells,
+    build_response_cells,
+    request_data_from_cells,
+    response_data_from_cells,
+)
+from .types import ProtocolType
+
+
+class RepackError(ValueError):
+    """A packet that cannot be re-expressed at the destination interface."""
+
+
+def repack_request(
+    cells: Sequence[Cell],
+    from_bytes: int,
+    to_bytes: int,
+    from_protocol: ProtocolType,
+    to_protocol: ProtocolType,
+) -> List[Cell]:
+    """Re-express a request packet for a different width/protocol.
+
+    The operation itself (opcode, address, data, tid, pri, lck, src) is
+    preserved; only the cell geometry changes.
+    """
+    if not cells:
+        raise RepackError("empty request packet")
+    first = cells[0]
+    try:
+        opcode = Opcode.decode(first.opc)
+    except OpcodeError:
+        raise RepackError(f"cannot repack invalid opc 0x{first.opc:02x}")
+    expected = opcode.request_cells(from_bytes, from_protocol)
+    if len(cells) != expected:
+        raise RepackError(
+            f"{opcode}: got {len(cells)} cells, expected {expected} at "
+            f"{from_bytes}-byte/{from_protocol} interface"
+        )
+    data = request_data_from_cells(cells, from_bytes)
+    txn = Transaction(
+        opcode, first.add, data=data, tid=first.tid, pri=first.pri,
+        lck=cells[-1].lck,
+    )
+    out = build_request_cells(txn, to_bytes, to_protocol)
+    for cell in out:
+        cell.src = first.src
+    return out
+
+
+def repack_response(
+    cells: Sequence[RespCell],
+    opcode: Opcode,
+    address: int,
+    from_bytes: int,
+    to_bytes: int,
+    from_protocol: ProtocolType,
+    to_protocol: ProtocolType,
+) -> List[RespCell]:
+    """Re-express a response packet for a different width/protocol.
+
+    The converter knows ``opcode`` and ``address`` from the request packet
+    it forwarded earlier (responses do not carry them on the wire).
+    """
+    if not cells:
+        raise RepackError("empty response packet")
+    first = cells[0]
+    error = any(cell.is_error for cell in cells)
+    data = b""
+    if not error and opcode.kind.carries_response_data:
+        data = response_data_from_cells(cells, opcode, from_bytes,
+                                        address=address)
+    return build_response_cells(
+        opcode, to_bytes, to_protocol, data=data, error=error,
+        src=first.r_src, tid=first.r_tid, address=address,
+    )

@@ -1,0 +1,168 @@
+"""Standard Value Change Dump (VCD, IEEE 1364) writer.
+
+The paper's regression tool dumps one VCD per run "so that it can be used
+later for bus accurate comparison".  This writer implements the
+:class:`~repro.kernel.simulator.Tracer` interface: the simulator declares
+every signal during elaboration and the writer emits one timestep per clock
+cycle, recording only the signals whose value changed (per the format).
+
+Hierarchical signal names (``top.dut.req``) become nested ``$scope module``
+sections so third-party viewers show the same hierarchy the testbench has.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, Sequence, TextIO, Union
+
+from ..kernel.signal import Signal
+from ..kernel.simulator import Tracer
+
+#: VCD identifier alphabet (printable ASCII, per the standard).
+_ID_FIRST = 33  # '!'
+_ID_LAST = 126  # '~'
+_ID_RANGE = _ID_LAST - _ID_FIRST + 1
+
+
+def make_identifier(index: int) -> str:
+    """Return the VCD short identifier for the ``index``-th variable."""
+    if index < 0:
+        raise ValueError("identifier index must be non-negative")
+    chars = [chr(_ID_FIRST + index % _ID_RANGE)]
+    index //= _ID_RANGE
+    while index:
+        index -= 1
+        chars.append(chr(_ID_FIRST + index % _ID_RANGE))
+        index //= _ID_RANGE
+    return "".join(chars)
+
+
+def _format_value(value: int, width: int, ident: str) -> str:
+    if width == 1:
+        return f"{value & 1}{ident}"
+    return f"b{value:b} {ident}"
+
+
+class _ScopeNode:
+    """A node of the scope tree built from hierarchical signal names."""
+
+    def __init__(self) -> None:
+        self.children: Dict[str, "_ScopeNode"] = {}
+        self.vars: List[tuple] = []  # (leaf name, width, ident)
+
+    def emit(self, out: TextIO, name: Optional[str] = None) -> None:
+        if name is not None:
+            out.write(f"$scope module {name} $end\n")
+        for leaf, width, ident in self.vars:
+            ref = leaf if width == 1 else f"{leaf} [{width - 1}:0]"
+            out.write(f"$var wire {width} {ident} {ref} $end\n")
+        for child_name in sorted(self.children):
+            self.children[child_name].emit(out, child_name)
+        if name is not None:
+            out.write("$upscope $end\n")
+
+
+class VcdWriter(Tracer):
+    """Write a VCD file sampled once per clock cycle.
+
+    Parameters
+    ----------
+    target:
+        File path or writable text stream.
+    timescale_ns:
+        Nanoseconds per clock cycle; one cycle advances the VCD timestamp
+        by this amount (default 10 ns, a 100 MHz clock).
+    """
+
+    def __init__(self, target: Union[str, TextIO], timescale_ns: int = 10):
+        if timescale_ns < 1:
+            raise ValueError("timescale_ns must be >= 1")
+        self._own_stream = isinstance(target, str)
+        self._out: TextIO = (
+            open(target, "w", encoding="ascii") if isinstance(target, str) else target
+        )
+        self.timescale_ns = timescale_ns
+        self._signals: List[Signal] = []
+        self._last: Dict[str, int] = {}
+        self._header_written = False
+        self._finished = False
+
+    # -- Tracer interface -------------------------------------------------
+
+    def declare(self, signal: Signal) -> None:
+        if self._header_written:
+            raise RuntimeError("cannot declare signals after the first sample")
+        signal.vcd_id = make_identifier(len(self._signals))
+        self._signals.append(signal)
+
+    def sample(self, cycle: int, signals: Sequence[Signal]) -> None:
+        if not self._header_written:
+            self._write_header()
+        out = self._out
+        changes: List[str] = []
+        for sig in self._signals:
+            value = sig.value
+            if self._last.get(sig.vcd_id) != value:
+                self._last[sig.vcd_id] = value
+                changes.append(_format_value(value, sig.width, sig.vcd_id))
+        if changes or cycle == 0:
+            out.write(f"#{cycle * self.timescale_ns}\n")
+            for line in changes:
+                out.write(line + "\n")
+
+    def finish(self, cycle: int) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        if not self._header_written:
+            self._write_header()
+        self._out.write(f"#{cycle * self.timescale_ns}\n")
+        if self._own_stream:
+            self._out.close()
+        else:
+            self._out.flush()
+
+    # -- internals ---------------------------------------------------------
+
+    def _write_header(self) -> None:
+        self._header_written = True
+        out = self._out
+        out.write("$date\n  repro common verification environment\n$end\n")
+        out.write("$version\n  repro.vcd 1.0\n$end\n")
+        out.write(f"$timescale {self.timescale_ns}ns $end\n")
+        root = _ScopeNode()
+        for sig in self._signals:
+            parts = sig.name.split(".")
+            node = root
+            for part in parts[:-1]:
+                node = node.children.setdefault(part, _ScopeNode())
+            node.vars.append((parts[-1], sig.width, sig.vcd_id))
+        root.emit(out)
+        out.write("$enddefinitions $end\n")
+        out.write("$dumpvars\n")
+        for sig in self._signals:
+            self._last[sig.vcd_id] = sig.value
+            out.write(_format_value(sig.value, sig.width, sig.vcd_id) + "\n")
+        out.write("$end\n")
+
+
+def dump_to_string(sample_rows: Sequence[Dict[str, int]], widths: Dict[str, int]) -> str:
+    """Utility: build a VCD text from explicit per-cycle samples.
+
+    ``sample_rows[c][name]`` is the value of ``name`` during cycle ``c``.
+    Used by tests and by the BCA trace replayer.
+    """
+    buf = io.StringIO()
+    writer = VcdWriter(buf)
+    signals = [Signal(name, width=width) for name, width in widths.items()]
+    for sig in signals:
+        writer.declare(sig)
+    for cycle, row in enumerate(sample_rows):
+        for sig in signals:
+            if sig.name in row:
+                sig._next = row[sig.name]
+                sig._pending = True
+                sig._commit()
+        writer.sample(cycle, signals)
+    writer.finish(len(sample_rows))
+    return buf.getvalue()

@@ -1,0 +1,182 @@
+"""STBus Analyzer tests: extraction, alignment rates, transaction diff."""
+
+import os
+
+import pytest
+
+from repro.analyzer import (
+    SIGNOFF_THRESHOLD,
+    compare_vcds,
+    diff_transactions,
+    discover_ports,
+    extract_all,
+    extract_port,
+    ExtractionError,
+)
+from repro.catg import run_test
+from repro.regression.testcases import build_test
+from repro.stbus import ArbitrationPolicy, NodeConfig, Opcode, ProtocolType
+from repro.vcd import parse_vcd
+
+
+@pytest.fixture(scope="module")
+def vcd_pair(tmp_path_factory):
+    """RTL and BCA dumps of the same seeded test."""
+    workdir = tmp_path_factory.mktemp("vcds")
+    cfg = NodeConfig(n_initiators=2, n_targets=2,
+                     arbitration=ArbitrationPolicy.LRU, name="alignme")
+    paths = {}
+    for view in ("rtl", "bca"):
+        path = str(workdir / f"{view}.vcd")
+        result = run_test(cfg, build_test("t02_random_uniform", cfg, 4),
+                          view=view, vcd_path=path)
+        assert result.passed
+        paths[view] = path
+    return cfg, paths
+
+
+def test_discover_ports(vcd_pair):
+    _, paths = vcd_pair
+    vcd = parse_vcd(paths["rtl"])
+    ports = discover_ports(vcd)
+    assert "tb.init0" in ports
+    assert "tb.init1" in ports
+    assert "tb.targ0" in ports
+    assert "tb.targ1" in ports
+
+
+def test_extract_port_packets_match_monitoring(vcd_pair):
+    cfg, paths = vcd_pair
+    vcd = parse_vcd(paths["rtl"])
+    traffic = extract_port(vcd, "tb.init0")
+    assert traffic.requests, "no packets extracted"
+    assert len(traffic.requests) == len(traffic.responses)
+    for packet in traffic.requests:
+        assert packet.cells[-1].eop == 1
+        assert all(c.eop == 0 for c in packet.cells[:-1])
+        Opcode.decode(packet.cells[0].opc)  # decodable
+    assert "request packets" in traffic.summary()
+
+
+def test_extract_missing_scope_rejected(vcd_pair):
+    _, paths = vcd_pair
+    vcd = parse_vcd(paths["rtl"])
+    with pytest.raises(ExtractionError):
+        extract_port(vcd, "tb.nonexistent")
+    with pytest.raises(ExtractionError):
+        extract_all(vcd, scopes=["tb.ghost"])
+
+
+def test_clean_views_align_100_percent(vcd_pair):
+    _, paths = vcd_pair
+    report = compare_vcds(paths["rtl"], paths["bca"])
+    assert report.signed_off
+    assert report.min_rate == 1.0
+    assert report.overall_rate == 1.0
+    for port in report.ports.values():
+        assert port.first_divergence is None
+        assert not port.signal_mismatches
+    assert "SIGNED OFF" in report.render()
+
+
+def test_self_comparison_is_perfect(vcd_pair):
+    _, paths = vcd_pair
+    report = compare_vcds(paths["rtl"], paths["rtl"])
+    assert report.min_rate == 1.0
+
+
+def test_buggy_bca_drops_below_threshold(tmp_path):
+    cfg = NodeConfig(n_initiators=3, n_targets=2,
+                     arbitration=ArbitrationPolicy.LRU, name="buggy")
+    rtl_path = str(tmp_path / "rtl.vcd")
+    bca_path = str(tmp_path / "bca.vcd")
+    run_test(cfg, build_test("t06_lru_fairness", cfg, 2), view="rtl",
+             vcd_path=rtl_path)
+    run_test(cfg, build_test("t06_lru_fairness", cfg, 2), view="bca",
+             bugs={"lru-recency-stuck"}, vcd_path=bca_path)
+    report = compare_vcds(rtl_path, bca_path)
+    assert not report.signed_off
+    worst = report.worst_port()
+    assert worst.rate < SIGNOFF_THRESHOLD
+    assert worst.first_divergence is not None
+    assert "NOT signed off" in report.render()
+
+
+def test_transaction_diff_identical_for_clean_views(vcd_pair):
+    _, paths = vcd_pair
+    diff = diff_transactions(paths["rtl"], paths["bca"])
+    assert diff.functionally_equal
+    assert "identical" in diff.render() or "timing-skew" in diff.render()
+
+
+def test_transaction_diff_detects_content_divergence(tmp_path):
+    cfg = NodeConfig(n_initiators=2, n_targets=2, name="lanes")
+    rtl_path = str(tmp_path / "rtl.vcd")
+    bca_path = str(tmp_path / "bca.vcd")
+    run_test(cfg, build_test("t09_mixed_sizes", cfg, 3), view="rtl",
+             vcd_path=rtl_path)
+    run_test(cfg, build_test("t09_mixed_sizes", cfg, 3), view="bca",
+             bugs={"subword-lane-misplacement"}, vcd_path=bca_path)
+    diff = diff_transactions(rtl_path, bca_path)
+    assert not diff.functionally_equal
+    # The corruption is on the node's target side.
+    assert any(
+        not d.functionally_equal and "targ" in name
+        for name, d in diff.ports.items()
+    )
+
+
+def test_compare_mismatched_portsets_rejected(vcd_pair, tmp_path):
+    _, paths = vcd_pair
+    cfg = NodeConfig(n_initiators=1, n_targets=1, name="tiny")
+    other = str(tmp_path / "tiny.vcd")
+    run_test(cfg, build_test("t01_sanity_write_read", cfg, 1),
+             vcd_path=other)
+    with pytest.raises(ExtractionError):
+        compare_vcds(paths["rtl"], other)
+
+
+def test_waveview_renders_divergence(tmp_path):
+    from repro.analyzer import compare_vcds, render_divergence, render_port_wave
+
+    cfg = NodeConfig(n_initiators=3, n_targets=2,
+                     arbitration=ArbitrationPolicy.LRU, name="wave")
+    rtl_path = str(tmp_path / "rtl.vcd")
+    bca_path = str(tmp_path / "bca.vcd")
+    run_test(cfg, build_test("t06_lru_fairness", cfg, 2), view="rtl",
+             vcd_path=rtl_path)
+    run_test(cfg, build_test("t06_lru_fairness", cfg, 2), view="bca",
+             bugs={"lru-recency-stuck"}, vcd_path=bca_path)
+    report = compare_vcds(rtl_path, bca_path)
+    worst = report.worst_port()
+    wave = render_divergence(rtl_path, bca_path, worst)
+    assert wave is not None
+    assert worst.port in wave
+    assert "*" in wave  # divergences marked
+    assert ":rtl" in wave and ":bca" in wave
+    # Aligned ports render as None.
+    aligned = [p for p in report.ports.values()
+               if p.first_divergence is None]
+    if aligned:
+        assert render_divergence(rtl_path, bca_path, aligned[0]) is None
+    # Direct window rendering works too.
+    text = render_port_wave(rtl_path, bca_path, worst.port,
+                            worst.first_divergence, window=3)
+    assert "signal" in text
+
+
+def test_analyzer_cli_wave_flag(tmp_path, capsys):
+    from repro.analyzer.cli import main as analyzer_main
+
+    cfg = NodeConfig(n_initiators=3, n_targets=2,
+                     arbitration=ArbitrationPolicy.LRU, name="wavecli")
+    rtl_path = str(tmp_path / "rtl.vcd")
+    bca_path = str(tmp_path / "bca.vcd")
+    run_test(cfg, build_test("t06_lru_fairness", cfg, 2), view="rtl",
+             vcd_path=rtl_path)
+    run_test(cfg, build_test("t06_lru_fairness", cfg, 2), view="bca",
+             bugs={"lru-recency-stuck"}, vcd_path=bca_path)
+    code = analyzer_main(["--wave", rtl_path, bca_path])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "divergences marked" in out

@@ -1,0 +1,90 @@
+"""TimedFifo (BCA) vs Pipe (RTL) lockstep equivalence.
+
+The whole alignment story rests on the two abstractions having identical
+observable timing; this property test drives both with the same random
+accept/consume schedule and requires the visible output to match cycle by
+cycle.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bca.queues import TimedFifo
+from repro.rtl.pipeline import Pipe
+
+
+def test_fifo_basic_visibility():
+    fifo = TimedFifo(2)
+    fifo.push("a", visible_at=3)
+    assert fifo.visible_head(2) is None
+    assert fifo.visible_head(3) == "a"
+    assert fifo.pop() == "a"
+    assert fifo.visible_head(10) is None
+
+
+def test_fifo_capacity():
+    fifo = TimedFifo(1)
+    fifo.push("a", 0)
+    assert not fifo.can_accept(output_fired=False)
+    assert fifo.can_accept(output_fired=True)
+    with pytest.raises(OverflowError):
+        fifo.push("b", 0)
+
+
+def test_fifo_monotonic_visibility():
+    fifo = TimedFifo(3)
+    fifo.push("a", visible_at=10)
+    fifo.push("b", visible_at=2)  # clamped: cannot overtake "a"
+    fifo.pop()
+    assert fifo.visible_head(5) is None
+    assert fifo.visible_head(10) == "b"
+
+
+def test_fifo_depth_validation():
+    with pytest.raises(ValueError):
+        TimedFifo(0)
+
+
+def test_pipe_misuse_detected():
+    pipe = Pipe(1)
+    with pytest.raises(RuntimeError):
+        pipe.advance(output_fired=True)
+    pipe.advance(False, load="a")
+    with pytest.raises(OverflowError):
+        pipe.advance(False, load="b")
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.lists(st.tuples(st.booleans(), st.booleans()), min_size=1, max_size=60),
+)
+def test_pipe_fifo_lockstep_equivalence(depth, schedule):
+    """Identical accept/consume decisions => identical visible outputs.
+
+    Each schedule step decides (try_consume, try_load).  A consume only
+    happens when the output is visible; a load only when both sides say
+    they can accept (their can_accept must agree at all times).
+    """
+    pipe = Pipe(depth)
+    fifo = TimedFifo(depth)
+    next_item = 0
+    for cycle, (try_consume, try_load) in enumerate(schedule):
+        pipe_out = pipe.output
+        fifo_out = fifo.visible_head(cycle)
+        assert pipe_out == fifo_out, f"cycle {cycle}: {pipe_out} != {fifo_out}"
+        fired = try_consume and pipe_out is not None
+        can_pipe = pipe.can_accept(fired)
+        can_fifo = fifo.can_accept(fired)
+        assert can_pipe == can_fifo, f"cycle {cycle}: ready mismatch"
+        load = next_item if (try_load and can_pipe) else None
+        # Advance both abstractions one clock edge.
+        pipe.advance(fired, load)
+        if fired:
+            fifo.pop()
+        if load is not None:
+            # A cell accepted at the edge ending cycle `cycle` reaches the
+            # output stage `depth` cycles later.
+            fifo.push(load, visible_at=cycle + depth)
+            next_item += 1

@@ -1,0 +1,133 @@
+"""Unit tests for the report sink and the sequence generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catg import VerificationReport, Violation
+from repro.catg.sequence import (
+    DEFAULT_MIX,
+    directed_write_read_pairs,
+    pick_kind,
+    random_program,
+    random_transaction,
+)
+from repro.stbus import NodeConfig, OpKind, ProtocolType
+
+
+# ---------------------------------------------------------------- report ---
+
+def test_report_pass_fail_and_histogram():
+    report = VerificationReport(name="r")
+    assert report.passed
+    assert report.first_violation() is None
+    report.error("RULE_A", "chk", 5, "boom")
+    report.error("RULE_A", "chk", 7, "boom again")
+    report.error("RULE_B", "sb", 9, "bang")
+    assert not report.passed
+    assert report.rules_hit() == {"RULE_A": 2, "RULE_B": 1}
+    assert report.first_violation().cycle == 5
+    assert "[RULE_A]" in str(report.first_violation())
+
+
+def test_report_caps_violations():
+    report = VerificationReport(max_violations=3)
+    for k in range(10):
+        report.error("R", "x", k, "m")
+    assert len(report.violations) == 3
+
+
+def test_report_render_contains_status_and_notes():
+    report = VerificationReport(name="demo")
+    report.note("something to remember")
+    text = report.render()
+    assert "Status: PASS" in text
+    assert "something to remember" in text
+    report.error("R", "x", 1, "m")
+    assert "Status: FAIL" in report.render()
+
+
+def test_violation_is_hashable_and_frozen():
+    v = Violation("R", "src", 3, "msg")
+    assert hash(v)
+    with pytest.raises(Exception):
+        v.cycle = 4  # frozen dataclass
+
+
+# -------------------------------------------------------------- sequences ---
+
+def test_pick_kind_respects_mix():
+    rng = random.Random(0)
+    only_loads = tuple((OpKind.LOAD, 1) for _ in range(1))
+    assert all(pick_kind(rng, only_loads) is OpKind.LOAD for _ in range(20))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_random_transaction_always_legal(seed):
+    """Generated transactions are aligned, in-region and data-sized."""
+    config = NodeConfig(n_initiators=2, n_targets=3)
+    rng = random.Random(seed)
+    amap = config.resolved_map
+    for _ in range(10):
+        txn = random_transaction(config, rng, 0)
+        assert txn.address % txn.opcode.size == 0
+        assert amap.decode(txn.address) in range(3)
+        if txn.opcode.kind.carries_request_data:
+            assert len(txn.data) == txn.opcode.size
+        else:
+            assert txn.data == b""
+
+
+def test_random_transaction_error_probability_generates_misses():
+    config = NodeConfig(n_initiators=1, n_targets=1)
+    rng = random.Random(4)
+    amap = config.resolved_map
+    decodes = [
+        amap.decode(random_transaction(config, rng, 0,
+                                       error_probability=1.0).address)
+        for _ in range(10)
+    ]
+    assert all(d is None for d in decodes)
+
+
+def test_random_transaction_respects_target_filter():
+    config = NodeConfig(n_initiators=1, n_targets=4)
+    rng = random.Random(9)
+    amap = config.resolved_map
+    for _ in range(20):
+        txn = random_transaction(config, rng, 0, targets=[2])
+        assert amap.decode(txn.address) == 2
+
+
+def test_random_program_gap_bounds():
+    config = NodeConfig(n_initiators=1, n_targets=1)
+    program = random_program(config, random.Random(1), 0, 30,
+                             gap_range=(2, 5))
+    assert len(program) == 30
+    assert all(2 <= gap <= 5 for _, gap in program)
+
+
+def test_directed_pairs_alternate_store_load():
+    config = NodeConfig(n_initiators=1, n_targets=2)
+    program = directed_write_read_pairs(config, 0, 1, n_pairs=3)
+    assert len(program) == 6
+    kinds = [txn.opcode.kind for txn, _ in program]
+    assert kinds == [OpKind.STORE, OpKind.LOAD] * 3
+    # Pairs hit the same address.
+    for k in range(0, 6, 2):
+        assert program[k][0].address == program[k + 1][0].address
+
+
+def test_random_transaction_unreachable_initiator_rejected():
+    from repro.stbus import Architecture
+
+    config = NodeConfig(
+        n_initiators=2, n_targets=1,
+        architecture=Architecture.PARTIAL_CROSSBAR,
+        connectivity=frozenset({(0, 0)}),
+    )
+    with pytest.raises(ValueError):
+        random_transaction(config, random.Random(0), 1)

@@ -1,0 +1,144 @@
+"""Scoreboard, environment and coverage integration tests."""
+
+import pytest
+
+from repro.bca import ALL_BUGS
+from repro.catg import (
+    VerificationEnv,
+    build_node_coverage,
+    run_test,
+)
+from repro.regression.testcases import TESTCASES, build_test
+from repro.stbus import (
+    Architecture,
+    ArbitrationPolicy,
+    NodeConfig,
+    ProtocolType,
+)
+
+
+def cfg_small(**kwargs):
+    defaults = dict(n_initiators=2, n_targets=2, name="small")
+    defaults.update(kwargs)
+    return NodeConfig(**defaults)
+
+
+def test_env_rejects_bad_view():
+    with pytest.raises(ValueError):
+        VerificationEnv(cfg_small(), view="tlm")
+    with pytest.raises(ValueError):
+        VerificationEnv(cfg_small(), view="rtl", bugs={"src-tag-truncation"})
+
+
+def test_env_run_without_test_rejected():
+    env = VerificationEnv(cfg_small())
+    with pytest.raises(RuntimeError):
+        env.run()
+
+
+def test_load_test_validations():
+    env = VerificationEnv(cfg_small())
+    test = build_test("t01_sanity_write_read", cfg_small(), 1)
+    test.programs = test.programs[:1]
+    with pytest.raises(ValueError):
+        env.load_test(test)
+
+
+def test_rtl_clean_run_passes_everything():
+    cfg = cfg_small(arbitration=ArbitrationPolicy.ROUND_ROBIN)
+    result = run_test(cfg, build_test("t02_random_uniform", cfg, 3))
+    assert result.passed
+    assert result.report.passed
+    assert not result.timed_out
+    assert result.dut_stats["req_cells"] > 0
+    assert result.cycles > 0
+
+
+@pytest.mark.parametrize("test_name", sorted(TESTCASES))
+def test_every_testcase_green_on_rtl(test_name):
+    cfg = cfg_small(protocol_type=ProtocolType.T3,
+                    arbitration=ArbitrationPolicy.LRU,
+                    has_programming_port=True)
+    result = run_test(cfg, build_test(test_name, cfg, 7))
+    assert result.passed, result.report.violations[:4]
+
+
+@pytest.mark.parametrize("test_name", sorted(TESTCASES))
+def test_every_testcase_green_on_bca(test_name):
+    cfg = cfg_small(protocol_type=ProtocolType.T3,
+                    arbitration=ArbitrationPolicy.LRU,
+                    has_programming_port=True)
+    result = run_test(cfg, build_test(test_name, cfg, 7), view="bca")
+    assert result.passed, result.report.violations[:4]
+
+
+def test_coverage_equal_across_views():
+    cfg = cfg_small(protocol_type=ProtocolType.T3)
+    test_rtl = build_test("t02_random_uniform", cfg, 11)
+    test_bca = build_test("t02_random_uniform", cfg, 11)
+    rtl = run_test(cfg, test_rtl, view="rtl")
+    bca = run_test(cfg, test_bca, view="bca")
+    assert rtl.coverage.hit_signature() == bca.coverage.hit_signature()
+    assert rtl.coverage.percent == bca.coverage.percent
+
+
+def test_full_suite_reaches_100_percent_coverage():
+    cfg = cfg_small(protocol_type=ProtocolType.T3,
+                    arbitration=ArbitrationPolicy.PROGRAMMABLE_PRIORITY,
+                    has_programming_port=True)
+    merged = build_node_coverage(cfg)
+    for name in TESTCASES:
+        for seed in (1, 2):
+            result = run_test(cfg, build_test(name, cfg, seed))
+            assert result.passed, (name, seed, result.report.violations[:3])
+            merged.merge(result.coverage)
+    assert merged.percent == 100.0, merged.holes()
+
+
+def test_scoreboard_counts_traffic():
+    cfg = cfg_small()
+    env = VerificationEnv(cfg)
+    env.load_test(build_test("t02_random_uniform", cfg, 5))
+    result = env.run()
+    assert result.passed
+    assert env.scoreboard.matched_requests > 0
+    assert env.scoreboard.matched_responses > 0
+
+
+@pytest.mark.parametrize("bug", sorted(ALL_BUGS))
+def test_common_env_catches_every_seeded_bug(bug):
+    """The paper's headline: the common environment finds every BCA bug."""
+    cfgs = [
+        cfg_small(n_initiators=6, arbitration=ArbitrationPolicy.LRU,
+                  has_programming_port=True, name="hunt-lru"),
+        cfg_small(n_initiators=6,
+                  arbitration=ArbitrationPolicy.PROGRAMMABLE_PRIORITY,
+                  has_programming_port=True, name="hunt-prog"),
+    ]
+    detected = False
+    for cfg in cfgs:
+        for name in TESTCASES:
+            result = run_test(cfg, build_test(name, cfg, 1), view="bca",
+                              bugs={bug})
+            if not result.passed:
+                detected = True
+                break
+        if detected:
+            break
+    assert detected, f"bug {bug} escaped the common environment"
+
+
+def test_shared_bus_env_green_both_views():
+    cfg = cfg_small(architecture=Architecture.SHARED_BUS)
+    for view in ("rtl", "bca"):
+        result = run_test(cfg, build_test("t02_random_uniform", cfg, 9),
+                          view=view)
+        assert result.passed, (view, result.report.violations[:4])
+
+
+def test_decode_error_test_covers_error_bins():
+    cfg = cfg_small()
+    result = run_test(cfg, build_test("t12_decode_errors", cfg, 1))
+    assert result.passed
+    assert result.coverage["decode"].bins["error"] > 0
+    assert result.coverage["response"].bins["error"] > 0

@@ -1,0 +1,78 @@
+"""Type I (register/programming port) protocol checker tests."""
+
+import pytest
+
+from repro.catg import Type1Checker, VerificationReport
+from repro.kernel import Module, Simulator
+from repro.stbus import T1_READ, T1_WRITE, Type1Port
+
+
+class T1Rig:
+    def __init__(self):
+        self.sim = Simulator()
+        self.top = Module(self.sim, "rig")
+        self.port = Type1Port(self.top, "p")
+        self.report = VerificationReport()
+        Type1Checker(self.sim, "chk", self.port, self.report,
+                     parent=self.top)
+        self.sim.elaborate()
+        self.sim.step()  # idle cycle so the first drive is cycle 0
+
+    def cycle(self, **pins):
+        for name, value in pins.items():
+            getattr(self.port, name).drive(value)
+        self.sim._settle()
+        self.sim.step()
+
+
+def test_clean_write_transfer_passes():
+    rig = T1Rig()
+    rig.cycle(req=1, ack=0, opc=T1_WRITE, add=4, wdata=9, be=0xF)
+    rig.cycle(req=1, ack=1)
+    rig.cycle(req=0, ack=0)
+    assert rig.report.passed, rig.report.violations
+
+
+def test_ack_without_req_flagged():
+    rig = T1Rig()
+    rig.cycle(req=0, ack=1)
+    assert any(v.rule == "T1_ACK_SPURIOUS" for v in rig.report.violations)
+
+
+def test_idle_opcode_with_req_flagged():
+    rig = T1Rig()
+    rig.cycle(req=1, ack=1, opc=0)
+    assert any(v.rule == "T1_OPC" for v in rig.report.violations)
+
+
+def test_undefined_opcode_flagged():
+    rig = T1Rig()
+    rig.cycle(req=1, ack=1, opc=3)
+    assert any(v.rule == "T1_OPC" for v in rig.report.violations)
+
+
+def test_command_change_while_waiting_flagged():
+    rig = T1Rig()
+    rig.cycle(req=1, ack=0, opc=T1_WRITE, add=4, wdata=9, be=0xF)
+    rig.cycle(req=1, ack=0, opc=T1_WRITE, add=8, wdata=9, be=0xF)
+    assert any(v.rule == "T1_UNSTABLE" for v in rig.report.violations)
+
+
+def test_req_dropped_before_ack_flagged():
+    rig = T1Rig()
+    rig.cycle(req=1, ack=0, opc=T1_READ, add=0, be=0xF)
+    rig.cycle(req=0)
+    assert any(v.rule == "T1_DROPPED" for v in rig.report.violations)
+
+
+def test_env_instantiates_t1_checker_only_with_prog_port():
+    from repro.catg import VerificationEnv
+    from repro.stbus import ArbitrationPolicy, NodeConfig
+
+    plain = VerificationEnv(NodeConfig())
+    assert plain.t1_checker is None
+    prog = VerificationEnv(NodeConfig(
+        arbitration=ArbitrationPolicy.PROGRAMMABLE_PRIORITY,
+        has_programming_port=True,
+    ))
+    assert prog.t1_checker is not None

@@ -1,0 +1,119 @@
+"""Unit tests for Signal commit semantics."""
+
+import pytest
+
+from repro.kernel import (
+    MultipleDriverError,
+    Signal,
+    SignalError,
+    Simulator,
+    WidthError,
+)
+
+
+def test_initial_value():
+    sig = Signal("s", width=8, init=5)
+    assert sig.value == 5
+    assert int(sig) == 5
+
+
+def test_width_one_default():
+    sig = Signal("s")
+    assert sig.width == 1
+    assert sig.mask == 1
+
+
+def test_zero_width_rejected():
+    with pytest.raises(WidthError):
+        Signal("s", width=0)
+
+
+def test_init_out_of_range_rejected():
+    with pytest.raises(WidthError):
+        Signal("s", width=2, init=4)
+
+
+def test_drive_is_deferred_until_commit():
+    sig = Signal("s", width=8)
+    sig.drive(42)
+    assert sig.value == 0
+    assert sig.next == 42
+    assert sig._commit() is True
+    assert sig.value == 42
+
+
+def test_commit_reports_no_change():
+    sig = Signal("s", width=8, init=7)
+    sig.drive(7)
+    assert sig._commit() is False
+
+
+def test_drive_out_of_range_rejected():
+    sig = Signal("s", width=4)
+    with pytest.raises(WidthError):
+        sig.drive(16)
+    with pytest.raises(WidthError):
+        sig.drive(-1)
+
+
+def test_bool_and_index():
+    sig = Signal("s", width=4, init=3)
+    assert bool(sig)
+    assert [10, 11, 12, 13][sig] == 13
+
+
+def test_next_property_setter():
+    sig = Signal("s", width=8)
+    sig.next = 9
+    sig._commit()
+    assert sig.value == 9
+
+
+def test_same_value_redrive_allowed():
+    sig = Signal("s", width=8)
+    sig.drive(3)
+    sig.drive(3)
+    sig._commit()
+    assert sig.value == 3
+
+
+def test_conflicting_drive_same_writer_allowed():
+    # Without a simulator both writes appear to come from writer None;
+    # the last one wins (a process may recompute its own output).
+    sig = Signal("s", width=8)
+    sig.drive(3)
+    sig.drive(4)
+    sig._commit()
+    assert sig.value == 4
+
+
+def test_conflicting_drivers_detected_in_simulation():
+    sim = Simulator()
+    sig = sim.signal("s", width=8)
+    trigger = sim.signal("t")
+
+    def proc_a():
+        sig.drive(1)
+
+    def proc_b():
+        sig.drive(2)
+
+    sim.add_comb(proc_a, [trigger])
+    sim.add_comb(proc_b, [trigger])
+    with pytest.raises(MultipleDriverError):
+        sim.elaborate()
+
+
+def test_rebind_to_other_simulator_rejected():
+    sim_a = Simulator()
+    sim_b = Simulator()
+    sig = sim_a.signal("s")
+    with pytest.raises(SignalError):
+        sig._bind(sim_b)
+
+
+def test_duplicate_name_rejected():
+    sim = Simulator()
+    sim.signal("s")
+    with pytest.raises(SignalError):
+        sim.signal("s")

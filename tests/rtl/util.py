@@ -1,0 +1,78 @@
+"""Hand-rolled mini testbench used by RTL/BCA node unit tests.
+
+The full CATG environment (monitors, checkers, scoreboard, coverage) lives
+in repro.catg.env; these tests drive the node with just BFMs and target
+harnesses to pin down the microarchitecture itself.
+"""
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.catg.bfm import InitiatorBfm
+from repro.catg.target import TargetHarness
+from repro.kernel import Module, Simulator
+from repro.stbus import NodeConfig, StbusPort, Transaction, Type1Port
+
+
+class MiniTb:
+    def __init__(
+        self,
+        config: NodeConfig,
+        node_cls,
+        target_latencies: Optional[Sequence[int]] = None,
+        capacity: int = 8,
+    ):
+        self.config = config
+        self.sim = Simulator()
+        self.top = Module(self.sim, "tb")
+        width = config.data_width_bits
+        self.init_ports = [
+            StbusPort(self.top, f"init{i}", width)
+            for i in range(config.n_initiators)
+        ]
+        self.targ_ports = [
+            StbusPort(self.top, f"targ{t}", width)
+            for t in range(config.n_targets)
+        ]
+        self.prog_port = (
+            Type1Port(self.top, "prog") if config.has_programming_port else None
+        )
+        self.node = node_cls(
+            self.sim, "dut", config, self.init_ports, self.targ_ports,
+            prog_port=self.prog_port, parent=self.top,
+        )
+        self.bfms = [
+            InitiatorBfm(
+                self.sim, f"bfm{i}", self.init_ports[i], config.protocol_type,
+                parent=self.top,
+            )
+            for i in range(config.n_initiators)
+        ]
+        latencies = list(target_latencies or [2] * config.n_targets)
+        self.targets = [
+            TargetHarness(
+                self.sim, f"mem{t}", self.targ_ports[t], config.protocol_type,
+                latency=latencies[t], capacity=capacity, seed=1000 + t,
+                parent=self.top,
+            )
+            for t in range(config.n_targets)
+        ]
+
+    def program(self, initiator: int, txns: List[Tuple[Transaction, int]]):
+        self.bfms[initiator].load_program(txns)
+
+    def run_to_completion(self, max_cycles: int = 5000) -> int:
+        self.sim.elaborate()
+
+        def finished() -> bool:
+            if not all(bfm.done for bfm in self.bfms):
+                return False
+            if any(
+                self.node.outstanding_count(i)
+                for i in range(self.config.n_initiators)
+            ):
+                return False
+            return not any(t.busy for t in self.targets)
+
+        cycles = self.sim.run_until(finished, max_cycles)
+        self.sim.run(5)  # drain a few more cycles for monitors/asserts
+        return cycles

@@ -1,0 +1,181 @@
+"""Behavioral tests for the six arbitration policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stbus import (
+    ArbitrationPolicy,
+    BandwidthArbiter,
+    FixedPriorityArbiter,
+    LatencyArbiter,
+    LruArbiter,
+    ProgrammablePriorityArbiter,
+    RoundRobinArbiter,
+    make_arbiter,
+)
+
+
+def test_fixed_priority_lowest_index_wins():
+    arb = FixedPriorityArbiter(4)
+    assert arb.pick([2, 1, 3]) == 1
+    assert arb.pick([0, 3]) == 0
+
+
+def test_pick_empty_rejected():
+    for arb in (FixedPriorityArbiter(2), LruArbiter(2), RoundRobinArbiter(2),
+                ProgrammablePriorityArbiter(2), LatencyArbiter(2),
+                BandwidthArbiter(2)):
+        with pytest.raises(ValueError):
+            arb.pick([])
+
+
+def test_programmable_priority_defaults_match_fixed():
+    arb = ProgrammablePriorityArbiter(4)
+    assert arb.pick([2, 1, 3]) == 1
+
+
+def test_programmable_priority_reprogramming_flips_winner():
+    arb = ProgrammablePriorityArbiter(3)
+    assert arb.pick([0, 2]) == 0
+    arb.set_priority(2, 100)
+    assert arb.pick([0, 2]) == 2
+
+
+def test_programmable_priority_tie_breaks_low_index():
+    arb = ProgrammablePriorityArbiter(3, priorities=[5, 5, 5])
+    assert arb.pick([1, 2]) == 1
+
+
+def test_lru_initial_order_is_index_order():
+    arb = LruArbiter(3)
+    assert arb.pick([0, 1, 2]) == 0
+
+
+def test_lru_served_moves_to_back():
+    arb = LruArbiter(3)
+    arb.on_packet_end(0)
+    assert arb.snapshot() == [1, 2, 0]
+    assert arb.pick([0, 1, 2]) == 1
+    arb.on_packet_end(1)
+    assert arb.pick([0, 1]) == 0
+    assert arb.pick([0, 1, 2]) == 2
+
+
+def test_lru_grant_does_not_change_order():
+    # The recency update happens at packet end, not at grant.
+    arb = LruArbiter(2)
+    arb.on_grant_cycle(0)
+    assert arb.pick([0, 1]) == 0
+
+
+def test_round_robin_rotates():
+    arb = RoundRobinArbiter(3)
+    assert arb.pick([0, 1, 2]) == 0
+    arb.on_packet_end(0)
+    assert arb.pick([0, 1, 2]) == 1
+    arb.on_packet_end(1)
+    assert arb.pick([0, 1, 2]) == 2
+    arb.on_packet_end(2)
+    assert arb.pick([0, 1, 2]) == 0
+
+
+def test_round_robin_skips_idle():
+    arb = RoundRobinArbiter(4)
+    arb.on_packet_end(0)  # pointer -> 1
+    assert arb.pick([0, 3]) == 3
+
+
+def test_latency_most_urgent_wins():
+    arb = LatencyArbiter(2, budgets=[10, 4])
+    for _ in range(3):
+        arb.tick([0, 1])
+    # counters: 0 -> 7, 1 -> 1: port 1 is closer to its deadline.
+    assert arb.pick([0, 1]) == 1
+    assert arb.urgency(1) == 1
+
+
+def test_latency_reset_on_packet_end():
+    arb = LatencyArbiter(2, budgets=[8, 8])
+    arb.tick([1])
+    assert arb.pick([0, 1]) == 1
+    arb.on_packet_end(1)
+    assert arb.pick([0, 1]) == 0  # tie at 8/8 breaks to index
+
+
+def test_latency_counter_can_go_negative():
+    arb = LatencyArbiter(1, budgets=[2])
+    for _ in range(5):
+        arb.tick([0])
+    assert arb.urgency(0) == -3
+
+
+def test_latency_bad_budget_rejected():
+    with pytest.raises(ValueError):
+        LatencyArbiter(2, budgets=[0, 4])
+    arb = LatencyArbiter(1)
+    with pytest.raises(ValueError):
+        arb.set_budget(0, 0)
+
+
+def test_bandwidth_funded_beats_exhausted():
+    arb = BandwidthArbiter(2, allocations=[1, 4], window=8)
+    arb.on_grant_cycle(0)  # port 0 spends its only token
+    assert arb.tokens(0) == 0
+    assert arb.pick([0, 1]) == 1
+
+
+def test_bandwidth_all_exhausted_falls_back_to_index():
+    arb = BandwidthArbiter(2, allocations=[1, 1], window=8)
+    arb.on_grant_cycle(0)
+    arb.on_grant_cycle(1)
+    assert arb.pick([0, 1]) == 0
+
+
+def test_bandwidth_replenishes_after_window():
+    arb = BandwidthArbiter(2, allocations=[1, 2], window=4)
+    arb.on_grant_cycle(0)
+    assert arb.tokens(0) == 0
+    for _ in range(4):
+        arb.tick([0, 1])
+    assert arb.tokens(0) == 1
+    assert arb.tokens(1) == 2  # capped at allocation
+
+
+def test_make_arbiter_factory_covers_all_policies():
+    for policy in ArbitrationPolicy:
+        arb = make_arbiter(policy, 4)
+        assert arb.policy is policy
+        assert arb.pick([1, 2]) in (1, 2)
+
+
+def test_make_arbiter_param_validation():
+    with pytest.raises(ValueError):
+        make_arbiter(ArbitrationPolicy.PROGRAMMABLE_PRIORITY, 2, priorities=[1])
+    with pytest.raises(ValueError):
+        make_arbiter(ArbitrationPolicy.BANDWIDTH_LIMITED, 2,
+                     bandwidth_allocations=[-1, 1])
+    with pytest.raises(ValueError):
+        FixedPriorityArbiter(0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.sampled_from(list(ArbitrationPolicy)),
+    st.integers(min_value=1, max_value=8),
+    st.data(),
+)
+def test_winner_always_among_requesters_property(policy, n, data):
+    """Whatever the history, pick() returns one of the requesters."""
+    arb = make_arbiter(policy, n)
+    for _ in range(20):
+        requesting = data.draw(
+            st.lists(st.integers(min_value=0, max_value=n - 1),
+                     min_size=1, max_size=n, unique=True)
+        )
+        arb.tick(requesting)
+        winner = arb.pick(requesting)
+        assert winner in requesting
+        arb.on_grant_cycle(winner)
+        if data.draw(st.booleans()):
+            arb.on_packet_end(winner)

@@ -1,0 +1,153 @@
+"""NodeConfig validation and text round-trip tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stbus import (
+    AddressMap,
+    Architecture,
+    ArbitrationPolicy,
+    ConfigError,
+    NodeConfig,
+    ProtocolType,
+    Region,
+)
+
+
+def test_defaults_valid():
+    cfg = NodeConfig()
+    assert cfg.bus_bytes == 4
+    assert cfg.resolved_map.decode(0x1800) == 1
+
+
+def test_type1_rejected_for_node():
+    with pytest.raises(ConfigError):
+        NodeConfig(protocol_type=ProtocolType.T1)
+
+
+def test_port_count_limits():
+    NodeConfig(n_initiators=32, n_targets=32)
+    with pytest.raises(ConfigError):
+        NodeConfig(n_initiators=33)
+    with pytest.raises(ConfigError):
+        NodeConfig(n_targets=0)
+
+
+def test_data_width_must_be_legal():
+    with pytest.raises(ConfigError):
+        NodeConfig(data_width_bits=48)
+
+
+def test_partial_crossbar_requires_connectivity():
+    with pytest.raises(ConfigError):
+        NodeConfig(architecture=Architecture.PARTIAL_CROSSBAR)
+    cfg = NodeConfig(
+        architecture=Architecture.PARTIAL_CROSSBAR,
+        connectivity=frozenset({(0, 0), (1, 1), (0, 1)}),
+    )
+    assert cfg.path_allowed(0, 1)
+    assert not cfg.path_allowed(1, 0)
+
+
+def test_partial_crossbar_unreachable_target_rejected():
+    with pytest.raises(ConfigError):
+        NodeConfig(
+            architecture=Architecture.PARTIAL_CROSSBAR,
+            n_targets=2,
+            connectivity=frozenset({(0, 0), (1, 0)}),
+        )
+
+
+def test_connectivity_on_full_crossbar_rejected():
+    with pytest.raises(ConfigError):
+        NodeConfig(connectivity=frozenset({(0, 0)}))
+
+
+def test_arb_params_length_checked():
+    with pytest.raises(ConfigError):
+        NodeConfig(n_initiators=3, priorities=[1, 2])
+    with pytest.raises(ConfigError):
+        NodeConfig(n_initiators=2, latency_budgets=[5])
+    with pytest.raises(ConfigError):
+        NodeConfig(n_initiators=2, bandwidth_allocations=[1, 2, 3])
+
+
+def test_address_map_target_bounds_checked():
+    with pytest.raises(ConfigError):
+        NodeConfig(n_targets=2, address_map=AddressMap.default(3))
+
+
+def test_reachable_targets_full():
+    cfg = NodeConfig(n_initiators=2, n_targets=3)
+    assert cfg.reachable_targets(0) == [0, 1, 2]
+
+
+def test_text_roundtrip_simple():
+    cfg = NodeConfig(name="n32", protocol_type=ProtocolType.T3,
+                     n_initiators=3, n_targets=2, data_width_bits=64,
+                     arbitration=ArbitrationPolicy.LRU, pipe_depth=2)
+    back = NodeConfig.from_text(cfg.to_text())
+    assert back.name == "n32"
+    assert back.protocol_type is ProtocolType.T3
+    assert back.arbitration is ArbitrationPolicy.LRU
+    assert back.data_width_bits == 64
+    assert back.pipe_depth == 2
+
+
+def test_text_roundtrip_full_features():
+    cfg = NodeConfig(
+        name="partial",
+        architecture=Architecture.PARTIAL_CROSSBAR,
+        n_initiators=2,
+        n_targets=2,
+        connectivity=frozenset({(0, 0), (0, 1), (1, 1), (1, 0)}),
+        arbitration=ArbitrationPolicy.LATENCY_BASED,
+        latency_budgets=[8, 24],
+        has_programming_port=True,
+        big_endian=True,
+        address_map=AddressMap([Region(0, 0x800, 0), Region(0x800, 0x800, 1)]),
+    )
+    back = NodeConfig.from_text(cfg.to_text())
+    assert back.connectivity == cfg.connectivity
+    assert back.latency_budgets == [8, 24]
+    assert back.has_programming_port and back.big_endian
+    assert back.address_map.decode(0x900) == 1
+
+
+def test_from_text_comments_and_blanks():
+    text = """
+    # a comment
+    n_initiators = 4   # trailing comment
+
+    n_targets = 2
+    """
+    cfg = NodeConfig.from_text(text)
+    assert cfg.n_initiators == 4
+
+
+def test_from_text_bad_line_rejected():
+    with pytest.raises(ConfigError):
+        NodeConfig.from_text("nonsense line\n")
+    with pytest.raises(ConfigError):
+        NodeConfig.from_text("n_initiators = banana\n")
+    with pytest.raises(ConfigError):
+        NodeConfig.from_text("arbitration = warp_speed\n")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.sampled_from([ProtocolType.T2, ProtocolType.T3]),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=8),
+    st.sampled_from([8, 16, 32, 64, 128]),
+    st.sampled_from(list(ArbitrationPolicy)),
+    st.integers(min_value=1, max_value=3),
+)
+def test_text_roundtrip_property(protocol, n_init, n_targ, width, arb, pipe):
+    cfg = NodeConfig(
+        protocol_type=protocol, n_initiators=n_init, n_targets=n_targ,
+        data_width_bits=width, arbitration=arb, pipe_depth=pipe,
+    )
+    back = NodeConfig.from_text(cfg.to_text())
+    assert back.to_text() == cfg.to_text()

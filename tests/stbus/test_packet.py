@@ -1,0 +1,160 @@
+"""Packet building / re-assembly tests, including round-trip properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stbus import (
+    Opcode,
+    PacketError,
+    ProtocolType,
+    Transaction,
+    build_request_cells,
+    build_response_cells,
+    request_data_from_cells,
+    response_data_from_cells,
+)
+
+
+def make_store(size, address=0x40, bus=4, pattern=0xA5):
+    data = bytes((pattern + i) & 0xFF for i in range(size))
+    return Transaction(Opcode.store(size), address, data=data), data
+
+
+def test_store_request_single_cell():
+    txn, data = make_store(4, address=0x40, bus=4)
+    cells = build_request_cells(txn, 4, ProtocolType.T2)
+    assert len(cells) == 1
+    assert cells[0].eop == 1
+    assert cells[0].be == 0xF
+    assert cells[0].add == 0x40
+    assert request_data_from_cells(cells, 4) == data
+
+
+def test_store_request_multi_cell_addresses_increment():
+    txn, data = make_store(16, address=0x100, bus=4)
+    cells = build_request_cells(txn, 4, ProtocolType.T2)
+    assert len(cells) == 4
+    assert [c.add for c in cells] == [0x100, 0x104, 0x108, 0x10C]
+    assert [c.eop for c in cells] == [0, 0, 0, 1]
+    assert all(c.be == 0xF for c in cells)
+    assert request_data_from_cells(cells, 4) == data
+
+
+def test_subword_store_lane_placement():
+    txn, data = make_store(1, address=0x42, bus=4)
+    cells = build_request_cells(txn, 4, ProtocolType.T2)
+    assert len(cells) == 1
+    # Byte at address offset 2 -> lane 2.
+    assert cells[0].be == 0b0100
+    assert (cells[0].data >> 16) & 0xFF == data[0]
+    assert request_data_from_cells(cells, 4) == data
+
+
+def test_load_request_carries_no_data():
+    txn = Transaction(Opcode.load(16), 0x200)
+    t2 = build_request_cells(txn, 4, ProtocolType.T2)
+    t3 = build_request_cells(txn, 4, ProtocolType.T3)
+    assert len(t2) == 4 and len(t3) == 1
+    assert all(c.data == 0 for c in t2)
+    assert request_data_from_cells(t2, 4) == b""
+
+
+def test_lck_only_on_last_cell():
+    txn, _ = make_store(8, address=0x40, bus=4)
+    txn.lck = 1
+    cells = build_request_cells(txn, 4, ProtocolType.T2)
+    assert [c.lck for c in cells] == [0, 1]
+
+
+def test_transaction_validates_data_length():
+    with pytest.raises(PacketError):
+        Transaction(Opcode.store(4), 0x0, data=b"\x01")
+    with pytest.raises(PacketError):
+        Transaction(Opcode.load(4), 0x0, data=b"\x01\x02\x03\x04")
+
+
+def test_transaction_validates_alignment():
+    with pytest.raises(Exception):
+        Transaction(Opcode.load(8), 0x44 + 1)
+
+
+def test_response_roundtrip_load():
+    data = bytes(range(16))
+    cells = build_response_cells(
+        Opcode.load(16), 4, ProtocolType.T2, data=data, src=3, tid=7,
+        address=0x300,
+    )
+    assert len(cells) == 4
+    assert all(c.r_src == 3 and c.r_tid == 7 for c in cells)
+    assert [c.r_eop for c in cells] == [0, 0, 0, 1]
+    got = response_data_from_cells(cells, Opcode.load(16), 4, address=0x300)
+    assert got == data
+
+
+def test_response_store_single_cell_t3():
+    cells = build_response_cells(Opcode.store(16), 4, ProtocolType.T3)
+    assert len(cells) == 1
+    assert cells[0].r_eop == 1
+    assert not cells[0].is_error
+
+
+def test_error_response_flag():
+    cells = build_response_cells(
+        Opcode.load(4), 4, ProtocolType.T2, error=True
+    )
+    assert all(c.is_error for c in cells)
+
+
+def test_response_wrong_data_length_rejected():
+    with pytest.raises(PacketError):
+        build_response_cells(Opcode.load(8), 4, ProtocolType.T2, data=b"\x00")
+
+
+def test_subword_load_response_lane_placement():
+    data = b"\xEE"
+    cells = build_response_cells(
+        Opcode.load(1), 4, ProtocolType.T2, data=data, address=0x43
+    )
+    assert (cells[0].r_data >> 24) & 0xFF == 0xEE
+    got = response_data_from_cells(cells, Opcode.load(1), 4, address=0x43)
+    assert got == data
+
+
+@st.composite
+def store_txns(draw):
+    bus_bytes = draw(st.sampled_from([1, 2, 4, 8, 16, 32]))
+    size = draw(st.sampled_from([1, 2, 4, 8, 16, 32, 64]))
+    slot = draw(st.integers(min_value=0, max_value=255))
+    address = slot * size  # naturally aligned
+    data = bytes(draw(st.binary(min_size=size, max_size=size)))
+    return bus_bytes, Transaction(Opcode.store(size), address, data=data), data
+
+
+@settings(max_examples=80, deadline=None)
+@given(store_txns(), st.sampled_from([ProtocolType.T2, ProtocolType.T3]))
+def test_request_data_roundtrip_property(case, protocol):
+    bus_bytes, txn, data = case
+    cells = build_request_cells(txn, bus_bytes, protocol)
+    assert cells[-1].eop == 1
+    assert all(c.eop == 0 for c in cells[:-1])
+    assert request_data_from_cells(cells, bus_bytes) == data
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.sampled_from([1, 2, 4, 8, 16, 32]),
+    st.sampled_from([1, 2, 4, 8, 16, 32, 64]),
+    st.integers(min_value=0, max_value=63),
+    st.sampled_from([ProtocolType.T2, ProtocolType.T3]),
+)
+def test_response_data_roundtrip_property(bus_bytes, size, slot, protocol):
+    address = slot * size
+    data = bytes((i * 37 + 11) & 0xFF for i in range(size))
+    cells = build_response_cells(
+        Opcode.load(size), bus_bytes, protocol, data=data, address=address
+    )
+    got = response_data_from_cells(
+        cells, Opcode.load(size), bus_bytes, address=address
+    )
+    assert got == data

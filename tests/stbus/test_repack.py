@@ -1,0 +1,145 @@
+"""Repacking (size/type conversion core) property and unit tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stbus import (
+    Cell,
+    Opcode,
+    ProtocolType,
+    RespCell,
+    Transaction,
+    build_request_cells,
+    build_response_cells,
+    request_data_from_cells,
+    response_data_from_cells,
+)
+from repro.stbus.repack import RepackError, repack_request, repack_response
+
+
+def make_request(size, address, bus, protocol, kind="store", tid=5, lck=0):
+    data = bytes((address + k) & 0xFF for k in range(size))
+    opcode = Opcode.store(size) if kind == "store" else Opcode.load(size)
+    txn = Transaction(opcode, address,
+                      data=data if kind == "store" else b"",
+                      tid=tid, lck=lck)
+    cells = build_request_cells(txn, bus, protocol)
+    for cell in cells:
+        cell.src = 3
+    return cells, data if kind == "store" else b""
+
+
+def test_repack_request_preserves_payload_downsize():
+    cells, data = make_request(16, 0x100, 8, ProtocolType.T2)
+    out = repack_request(cells, 8, 2, ProtocolType.T2, ProtocolType.T2)
+    assert len(out) == 8  # 16 bytes on a 2-byte bus
+    assert request_data_from_cells(out, 2) == data
+    assert out[-1].eop == 1
+    assert all(c.src == 3 and c.tid == 5 for c in out)
+
+
+def test_repack_request_preserves_payload_upsize():
+    cells, data = make_request(16, 0x40, 2, ProtocolType.T2)
+    out = repack_request(cells, 2, 16, ProtocolType.T2, ProtocolType.T2)
+    assert len(out) == 1
+    assert request_data_from_cells(out, 16) == data
+
+
+def test_repack_request_t2_to_t3_shrinks_loads():
+    cells, _ = make_request(16, 0x40, 4, ProtocolType.T2, kind="load")
+    assert len(cells) == 4
+    out = repack_request(cells, 4, 4, ProtocolType.T2, ProtocolType.T3)
+    assert len(out) == 1
+
+
+def test_repack_request_t3_to_t2_pads_loads():
+    cells, _ = make_request(16, 0x40, 4, ProtocolType.T3, kind="load")
+    assert len(cells) == 1
+    out = repack_request(cells, 4, 4, ProtocolType.T3, ProtocolType.T2)
+    assert len(out) == 4
+
+
+def test_repack_request_preserves_lck():
+    cells, _ = make_request(8, 0x40, 4, ProtocolType.T2, lck=1)
+    out = repack_request(cells, 4, 8, ProtocolType.T2, ProtocolType.T2)
+    assert out[-1].lck == 1
+    assert all(c.lck == 0 for c in out[:-1])
+
+
+def test_repack_request_rejects_bad_input():
+    with pytest.raises(RepackError):
+        repack_request([], 4, 8, ProtocolType.T2, ProtocolType.T2)
+    bad = [Cell(add=0, opc=0xFF, eop=1)]
+    with pytest.raises(RepackError):
+        repack_request(bad, 4, 8, ProtocolType.T2, ProtocolType.T2)
+    short, _ = make_request(16, 0x40, 4, ProtocolType.T2)
+    with pytest.raises(RepackError):
+        repack_request(short[:-1], 4, 8, ProtocolType.T2, ProtocolType.T2)
+
+
+def test_repack_response_preserves_payload():
+    data = bytes(range(16))
+    cells = build_response_cells(Opcode.load(16), 8, ProtocolType.T2,
+                                 data=data, src=2, tid=9, address=0x80)
+    out = repack_response(cells, Opcode.load(16), 0x80, 8, 4,
+                          ProtocolType.T2, ProtocolType.T2)
+    assert len(out) == 4
+    got = response_data_from_cells(out, Opcode.load(16), 4, address=0x80)
+    assert got == data
+    assert all(c.r_src == 2 and c.r_tid == 9 for c in out)
+
+
+def test_repack_response_propagates_error():
+    cells = build_response_cells(Opcode.load(8), 4, ProtocolType.T2,
+                                 error=True, src=1, tid=2, address=0x40)
+    out = repack_response(cells, Opcode.load(8), 0x40, 4, 8,
+                          ProtocolType.T2, ProtocolType.T3)
+    assert all(c.is_error for c in out)
+    assert out[-1].r_eop == 1
+
+
+def test_repack_response_empty_rejected():
+    with pytest.raises(RepackError):
+        repack_response([], Opcode.load(4), 0, 4, 8,
+                        ProtocolType.T2, ProtocolType.T2)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.sampled_from([1, 2, 4, 8, 16, 32]),
+    st.sampled_from([1, 2, 4, 8, 16, 32]),
+    st.sampled_from([1, 2, 4, 8, 16, 32, 64]),
+    st.integers(min_value=0, max_value=31),
+    st.sampled_from([ProtocolType.T2, ProtocolType.T3]),
+    st.sampled_from([ProtocolType.T2, ProtocolType.T3]),
+)
+def test_repack_roundtrip_property(bus_a, bus_b, size, slot, proto_a, proto_b):
+    """A→B→A repacking returns the identical packet (same geometry,
+    payload, tags)."""
+    address = slot * size
+    cells, _ = make_request(size, address, bus_a, proto_a)
+    there = repack_request(cells, bus_a, bus_b, proto_a, proto_b)
+    back = repack_request(there, bus_b, bus_a, proto_b, proto_a)
+    assert [c.key_fields() for c in back] == [c.key_fields() for c in cells]
+    assert [c.src for c in back] == [c.src for c in cells]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.sampled_from([1, 2, 4, 8, 16]),
+    st.sampled_from([1, 2, 4, 8, 16]),
+    st.sampled_from([1, 2, 4, 8, 16, 32, 64]),
+    st.integers(min_value=0, max_value=15),
+)
+def test_repack_response_roundtrip_property(bus_a, bus_b, size, slot):
+    address = slot * size
+    opcode = Opcode.load(size)
+    data = bytes((slot * 3 + k) & 0xFF for k in range(size))
+    cells = build_response_cells(opcode, bus_a, ProtocolType.T2, data=data,
+                                 src=4, tid=7, address=address)
+    there = repack_response(cells, opcode, address, bus_a, bus_b,
+                            ProtocolType.T2, ProtocolType.T2)
+    back = repack_response(there, opcode, address, bus_b, bus_a,
+                           ProtocolType.T2, ProtocolType.T2)
+    assert [c.key_fields() for c in back] == [c.key_fields() for c in cells]

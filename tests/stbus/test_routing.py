@@ -1,0 +1,72 @@
+"""Address map decoding tests."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stbus import AddressMap, Region, RoutingError
+
+
+def test_default_map_layout():
+    amap = AddressMap.default(4)
+    assert len(amap) == 4
+    assert amap.decode(0x0000) == 0
+    assert amap.decode(0x0FFF) == 0
+    assert amap.decode(0x1000) == 1
+    assert amap.decode(0x3FFF) == 3
+    assert amap.decode(0x4000) is None
+
+
+def test_overlap_rejected():
+    with pytest.raises(RoutingError):
+        AddressMap([Region(0, 0x100, 0), Region(0x80, 0x100, 1)])
+
+
+def test_zero_size_rejected():
+    with pytest.raises(RoutingError):
+        Region(0, 0, 0)
+
+
+def test_hole_decodes_to_none():
+    amap = AddressMap([Region(0, 0x100, 0), Region(0x200, 0x100, 1)])
+    assert amap.decode(0x150) is None
+    assert amap.decode(0x250) == 1
+
+
+def test_region_of_and_targets():
+    amap = AddressMap.default(3)
+    assert amap.targets() == [0, 1, 2]
+    assert amap.region_of(2).base == 0x2000
+    with pytest.raises(RoutingError):
+        amap.region_of(9)
+
+
+def test_random_address_respects_alignment_and_region():
+    amap = AddressMap.default(2)
+    rng = random.Random(7)
+    for _ in range(50):
+        addr = amap.random_address_in(1, rng, alignment=8)
+        assert addr % 8 == 0
+        assert amap.decode(addr) == 1
+
+
+def test_random_address_region_too_small():
+    amap = AddressMap([Region(0, 4, 0)])
+    with pytest.raises(RoutingError):
+        amap.random_address_in(0, random.Random(0), alignment=8)
+
+
+@given(st.integers(min_value=1, max_value=16), st.integers(min_value=0, max_value=0xFFFF))
+def test_default_map_decode_property(n_targets, address):
+    """decode() agrees with the arithmetic definition of the default map."""
+    amap = AddressMap.default(n_targets)
+    expected = address // 0x1000 if address < n_targets * 0x1000 else None
+    assert amap.decode(address) == expected
+
+
+def test_unordered_regions_are_sorted():
+    amap = AddressMap([Region(0x2000, 0x100, 5), Region(0x0, 0x100, 3)])
+    assert amap.regions[0].target == 3
+    assert amap.decode(0x2050) == 5
