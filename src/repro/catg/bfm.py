@@ -60,7 +60,11 @@ class InitiatorBfm(Module):
         self.sent: List[Transaction] = []
         self.response_packets: List[List] = []
         self._resp_assembly: List = []
-        self.clocked(self._clk)
+        self.clocked(
+            self._clk,
+            reads=[port.req, port.gnt, port.r_gnt] + port.response_signals(),
+            writes=port.request_signals() + [port.r_gnt],
+        )
 
     def load_program(self, program: Sequence[Tuple[Transaction, int]]) -> None:
         """Replace the program (before the simulation starts)."""

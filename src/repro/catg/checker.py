@@ -100,7 +100,7 @@ class ProtocolChecker(Module):
         self._resp_cells_seen = 0
         self._resp_first: Optional[tuple] = None  # (r_src, r_tid)
         self._chunk_src: Optional[int] = None
-        self.clocked(self._clk)
+        self.clocked(self._clk, reads=port.signals(), writes=())
 
     # -- reporting helper ---------------------------------------------------
 
@@ -348,7 +348,7 @@ class Type1Checker(Module):
         self.port = port
         self.report = report
         self._prev: Optional[tuple] = None
-        self.clocked(self._clk)
+        self.clocked(self._clk, reads=port.signals(), writes=())
 
     def _fail(self, rule: str, message: str) -> None:
         self.report.error(rule, self.name, self.sim.now - 1, message)

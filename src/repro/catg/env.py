@@ -187,7 +187,17 @@ class VerificationEnv:
             )
             if with_arbitration_checker else None
         )
-        self.sim.add_clocked(self._coverage_probe)
+        probe_reads = [
+            sig for port in self.init_ports for sig in (port.req, port.add)
+        ]
+        if self.prog_port is not None:
+            probe_reads += [
+                self.prog_port.req, self.prog_port.ack, self.prog_port.opc,
+            ]
+        self.sim.add_clocked(
+            self._coverage_probe, name="tb.coverage_probe",
+            reads=probe_reads, writes=(),
+        )
         self._test: Optional[TestProgram] = None
 
     # -- per-cycle coverage probe -------------------------------------------

@@ -105,7 +105,7 @@ class PortMonitor(Module):
         #: Keep full packet lists (tests/scoreboard) — disable for very
         #: long soak runs to bound memory.
         self.keep_history = True
-        self.clocked(self._clk)
+        self.clocked(self._clk, reads=port.signals(), writes=())
 
     def on_request(self, callback: RequestCallback) -> None:
         self._req_subs.append(callback)

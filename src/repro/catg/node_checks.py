@@ -87,7 +87,13 @@ class ArbitrationChecker(Module):
             [] for _ in range(config.n_initiators)
         ]
         self.checked_cycles = 0
-        self.clocked(self._clk)
+        observed = [
+            sig for port in self.init_ports + self.targ_ports
+            for sig in port.signals()
+        ]
+        if prog_port is not None:
+            observed += prog_port.signals()
+        self.clocked(self._clk, reads=observed, writes=())
 
     # -- shared spec helpers ----------------------------------------------------
 

@@ -32,7 +32,11 @@ class ProgrammingMaster(Module):
         self._active: Optional[ProgOp] = None
         self.completed: List[ProgOp] = []
         self.read_values: List[int] = []
-        self.clocked(self._clk)
+        self.clocked(
+            self._clk,
+            reads=[port.req, port.ack, port.rdata],
+            writes=[port.req, port.opc, port.add, port.wdata, port.be],
+        )
 
     def load_schedule(self, schedule: Sequence[ProgOp]) -> None:
         self._schedule = sorted(schedule, key=lambda op: op.cycle)

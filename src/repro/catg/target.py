@@ -92,7 +92,11 @@ class TargetHarness(Module):
         self._resp_idx = 0
         self.packets_served = 0
         self._tick = self.signal("tick")
-        self.clocked(self._clk)
+        self.clocked(
+            self._clk,
+            reads=port.signals() + [self._tick],
+            writes=port.response_signals() + [self._tick],
+        )
         self.comb(self._gnt_comb, [self._tick, port.req])
 
     # -- memory model -----------------------------------------------------

@@ -18,6 +18,7 @@ from .simulator import (
     MAX_DELTAS,
     DeltaOverflowError,
     ElaborationError,
+    ProcessInfo,
     Simulator,
     SimulatorError,
     Tracer,
@@ -33,6 +34,7 @@ __all__ = [
     "SimulatorError",
     "DeltaOverflowError",
     "ElaborationError",
+    "ProcessInfo",
     "Tracer",
     "Module",
     "MAX_DELTAS",

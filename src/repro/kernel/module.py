@@ -41,13 +41,42 @@ class Module:
         """Create a signal named under this module's scope."""
         return self.sim.signal(f"{self.name}.{name}", width=width, init=init)
 
-    def clocked(self, process: Callable[[], None]) -> None:
-        """Register a posedge process."""
-        self.sim.add_clocked(process)
+    def clocked(
+        self,
+        process: Callable[[], None],
+        *,
+        name: Optional[str] = None,
+        reads: Optional[Iterable[Signal]] = None,
+        writes: Optional[Iterable[Signal]] = None,
+    ) -> None:
+        """Register a posedge process, named under this module's scope.
 
-    def comb(self, process: Callable[[], None], sensitive_to: Iterable[Signal]) -> None:
+        ``reads``/``writes`` optionally declare every signal the process
+        may ever read or drive; the static lint pass uses the declarations
+        to reason about clocked dataflow (see
+        :meth:`repro.kernel.Simulator.add_clocked`).
+        """
+        self.sim.add_clocked(
+            process, name=self._process_name(process, name),
+            reads=reads, writes=writes,
+        )
+
+    def comb(
+        self,
+        process: Callable[[], None],
+        sensitive_to: Iterable[Signal],
+        *,
+        name: Optional[str] = None,
+    ) -> None:
         """Register a combinational process with a sensitivity list."""
-        self.sim.add_comb(process, sensitive_to)
+        self.sim.add_comb(
+            process, sensitive_to, name=self._process_name(process, name),
+        )
+
+    def _process_name(self, process: Callable[[], None],
+                      name: Optional[str]) -> str:
+        base = name or getattr(process, "__name__", "proc")
+        return f"{self.name}.{base}"
 
     def add_child(self, child: "Module") -> None:
         if child.parent is None:

@@ -10,11 +10,16 @@ repeated delta cycles rather than through Python call ordering.
 Values are plain non-negative integers masked to the signal width (2-state
 simulation: no ``X``/``Z``; the paper's flow compares VCD dumps of two
 2-state-equivalent models, so 4-state resolution is not needed).
+
+Every signal also records the distinct processes that have ever driven it
+(``drivers``); the static lint pass (:mod:`repro.lint`) and the
+:class:`MultipleDriverError` diagnostics both rely on that bookkeeping to
+name the offending processes instead of printing bare values.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from .simulator import Simulator
@@ -51,10 +56,12 @@ class Signal:
         "name",
         "width",
         "mask",
+        "init",
         "_value",
         "_next",
         "_pending",
         "_writer",
+        "_drivers",
         "_sim",
         "vcd_id",
     )
@@ -69,10 +76,12 @@ class Signal:
             raise WidthError(
                 f"signal {name!r}: init value {init} does not fit in {width} bits"
             )
+        self.init = init
         self._value: int = init
         self._next: int = init
         self._pending = False
         self._writer: Optional[object] = None
+        self._drivers: List[object] = []
         self._sim: Optional["Simulator"] = None
         self.vcd_id: Optional[str] = None
 
@@ -81,15 +90,27 @@ class Signal:
     @property
     def value(self) -> int:
         """The committed value, stable within a delta cycle."""
+        sim = self._sim
+        if sim is not None and sim._read_hook is not None:
+            sim._read_hook(self)
         return self._value
 
     def __bool__(self) -> bool:
+        sim = self._sim
+        if sim is not None and sim._read_hook is not None:
+            sim._read_hook(self)
         return self._value != 0
 
     def __int__(self) -> int:
+        sim = self._sim
+        if sim is not None and sim._read_hook is not None:
+            sim._read_hook(self)
         return self._value
 
     def __index__(self) -> int:
+        sim = self._sim
+        if sim is not None and sim._read_hook is not None:
+            sim._read_hook(self)
         return self._value
 
     # -- write side --------------------------------------------------------
@@ -103,18 +124,33 @@ class Signal:
         combinational code).
         """
         value = int(value)
+        sim = self._sim
+        if sim is not None and sim._write_hook is not None:
+            # The hook runs before validation so the lint pass can record
+            # over-wide drive attempts with their driving process.
+            sim._write_hook(self, value)
         if value < 0 or value > self.mask:
             raise WidthError(
                 f"signal {self.name!r}: value {value} does not fit in "
                 f"{self.width} bits"
             )
-        sim = self._sim
         writer = sim.active_process if sim is not None else None
+        if writer is not None:
+            drivers = self._drivers
+            if (not drivers or drivers[-1] is not writer) \
+                    and writer not in drivers:
+                drivers.append(writer)
         if self._pending:
             if self._next != value and self._writer is not writer:
+                if sim is not None:
+                    held_by = sim.process_label(self._writer)
+                    new_by = sim.process_label(writer)
+                else:  # unbound signal: best effort
+                    held_by = repr(self._writer)
+                    new_by = repr(writer)
                 raise MultipleDriverError(
-                    f"signal {self.name!r}: driven to {self._next} by "
-                    f"{self._writer!r} and to {value} by {writer!r} in the "
+                    f"signal {self.name!r}: driven to {self._next} by process "
+                    f"{held_by} and to {value} by process {new_by} in the "
                     "same delta cycle"
                 )
             self._next = value
@@ -134,6 +170,20 @@ class Signal:
     @next.setter
     def next(self, value: int) -> None:
         self.drive(value)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def drivers(self) -> Tuple[object, ...]:
+        """Every distinct process that has driven this signal so far."""
+        return tuple(self._drivers)
+
+    def driver_names(self) -> Tuple[str, ...]:
+        """Names of the recorded drivers (resolved via the simulator)."""
+        sim = self._sim
+        if sim is None:
+            return tuple(repr(d) for d in self._drivers)
+        return tuple(sim.process_label(d) for d in self._drivers)
 
     # -- kernel interface ----------------------------------------------------
 

@@ -19,11 +19,34 @@ Scheduling model (single implicit clock domain):
 
 A value visible during cycle *N* is therefore what the circuit shows between
 clock edge *N* and edge *N+1*; clocked processes at edge *N+1* read it.
+
+Static metadata
+---------------
+
+Every registered process gets a :class:`ProcessInfo` record.  During
+:meth:`Simulator.elaborate` the kernel performs a one-shot *read/write
+tracking dry run*: while the combinational processes execute for the first
+time (and settle), per-signal read and write hooks attribute every signal
+access to the running process.  The resulting
+``observed_reads``/``observed_writes`` sets, together with the declared
+sensitivity lists and any declared clocked read/write sets, form the signal
+dataflow graph that the static lint pass (:mod:`repro.lint`) analyzes
+before a single cycle is simulated.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from .signal import Signal, SignalError
 
@@ -43,6 +66,36 @@ class DeltaOverflowError(SimulatorError):
 
 class ElaborationError(SimulatorError):
     """The design was modified after elaboration or used before it."""
+
+
+def _default_label(process: Process) -> str:
+    return getattr(process, "__qualname__", None) or repr(process)
+
+
+@dataclass
+class ProcessInfo:
+    """Static metadata for one registered process.
+
+    ``sensitivity`` applies to combinational processes only.  The
+    ``declared_*`` sets are optional self-descriptions passed at
+    registration (``None`` means "unknown"); the ``observed_*`` sets are
+    filled in by the elaboration-time dry run.  ``errors`` collects
+    exceptions harvested during ``elaborate(harvest_errors=True)``.
+    """
+
+    process: Process
+    name: str
+    kind: str  # "clocked" | "comb"
+    index: int
+    sensitivity: Tuple[Signal, ...] = ()
+    declared_reads: Optional[Tuple[Signal, ...]] = None
+    declared_writes: Optional[Tuple[Signal, ...]] = None
+    observed_reads: Set[Signal] = field(default_factory=set)
+    observed_writes: Set[Signal] = field(default_factory=set)
+    errors: List[Exception] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ProcessInfo({self.kind}:{self.name!r})"
 
 
 class Tracer:
@@ -80,13 +133,27 @@ class Simulator:
         self._clocked: List[Process] = []
         self._comb: List[Process] = []
         self._sensitivity: Dict[Signal, List[int]] = {}
-        self._comb_of: List[List[Signal]] = []
         self._commit_queue: List[Signal] = []
         self._tracers: List[Tracer] = []
         self._elaborated = False
         self._finished = False
         self.now = 0  #: number of completed clock cycles
         self.active_process: Optional[object] = None
+        #: Static metadata, aligned with the registration order.
+        self.comb_processes: List[ProcessInfo] = []
+        self.clocked_processes: List[ProcessInfo] = []
+        #: ``(info-or-None, exception)`` pairs harvested by
+        #: ``elaborate(harvest_errors=True)`` (``None`` = raised outside a
+        #: specific process, e.g. a delta overflow while settling).
+        self.elaboration_errors: List[Tuple[Optional[ProcessInfo], Exception]] = []
+        #: ``(info-or-None, signal, value)`` for every over-wide drive
+        #: attempt seen during the elaboration dry run.
+        self.width_events: List[Tuple[Optional[ProcessInfo], Signal, int]] = []
+        # Read/write attribution hooks; installed only while elaborating.
+        self._read_hook: Optional[Callable[[Signal], None]] = None
+        self._write_hook: Optional[Callable[[Signal, int], None]] = None
+        self._track_info: Optional[ProcessInfo] = None
+        self._harvest = False
 
     # -- construction --------------------------------------------------------
 
@@ -102,22 +169,57 @@ class Simulator:
         self._names.add(name)
         return sig
 
-    def add_clocked(self, process: Process) -> None:
-        """Register a process run once per clock posedge."""
+    def add_clocked(
+        self,
+        process: Process,
+        *,
+        name: Optional[str] = None,
+        reads: Optional[Iterable[Signal]] = None,
+        writes: Optional[Iterable[Signal]] = None,
+    ) -> None:
+        """Register a process run once per clock posedge.
+
+        ``reads``/``writes`` optionally declare the signals the process may
+        ever read or drive.  The kernel never enforces them; they feed the
+        static lint pass, whose undriven-input and dead-net rules only run
+        when every clocked process in the design declares its set.
+        """
         if self._elaborated:
             raise ElaborationError("cannot add processes after elaborate()")
+        info = ProcessInfo(
+            process=process,
+            name=name or _default_label(process),
+            kind="clocked",
+            index=len(self._clocked),
+            declared_reads=None if reads is None else tuple(reads),
+            declared_writes=None if writes is None else tuple(writes),
+        )
         self._clocked.append(process)
+        self.clocked_processes.append(info)
 
-    def add_comb(self, process: Process, sensitive_to: Iterable[Signal]) -> None:
+    def add_comb(
+        self,
+        process: Process,
+        sensitive_to: Iterable[Signal],
+        *,
+        name: Optional[str] = None,
+    ) -> None:
         """Register a combinational process woken by its sensitivity list."""
         if self._elaborated:
             raise ElaborationError("cannot add processes after elaborate()")
-        idx = len(self._comb)
-        self._comb.append(process)
         sens = list(sensitive_to)
         if not sens:
             raise SimulatorError("combinational process needs a sensitivity list")
-        self._comb_of.append(sens)
+        idx = len(self._comb)
+        info = ProcessInfo(
+            process=process,
+            name=name or _default_label(process),
+            kind="comb",
+            index=idx,
+            sensitivity=tuple(sens),
+        )
+        self._comb.append(process)
+        self.comb_processes.append(info)
         for sig in sens:
             self._sensitivity.setdefault(sig, []).append(idx)
 
@@ -126,6 +228,28 @@ class Simulator:
         if self._elaborated:
             raise ElaborationError("cannot add tracers after elaborate()")
         self._tracers.append(tracer)
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def elaborated(self) -> bool:
+        return self._elaborated
+
+    @property
+    def tracers(self) -> Tuple[Tracer, ...]:
+        return tuple(self._tracers)
+
+    def process_label(self, process: Optional[object]) -> str:
+        """Human-readable name for a registered process object."""
+        if process is None:
+            return "<external>"
+        for info in self.comb_processes:
+            if info.process is process:
+                return info.name
+        for info in self.clocked_processes:
+            if info.process is process:
+                return info.name
+        return _default_label(process)  # not registered here
 
     # -- kernel internals ------------------------------------------------------
 
@@ -140,10 +264,26 @@ class Simulator:
                 changed.append(sig)
         return changed
 
+    def _abort_commits(self) -> None:
+        """Drop pending writes (recovery after a harvested settle error)."""
+        for sig in self._commit_queue:
+            sig._pending = False
+            sig._writer = None
+        self._commit_queue.clear()
+
+    def _run_harvested(self, info: ProcessInfo) -> None:
+        """Run ``info.process`` recording kernel errors instead of raising."""
+        try:
+            info.process()
+        except (SignalError, SimulatorError) as exc:
+            info.errors.append(exc)
+            self.elaboration_errors.append((info, exc))
+
     def _settle(self) -> None:
         """Run the delta loop until no signal changes."""
         changed = self._commit_all()
         deltas = 0
+        tracking = self._read_hook is not None
         while changed:
             deltas += 1
             if deltas > MAX_DELTAS:
@@ -160,26 +300,80 @@ class Simulator:
                         seen.add(idx)
                         woken.append(idx)
             for idx in woken:
-                self.active_process = self._comb[idx]
-                self._comb[idx]()
+                proc = self._comb[idx]
+                self.active_process = proc
+                if tracking:
+                    self._track_info = self.comb_processes[idx]
+                    if self._harvest:
+                        self._run_harvested(self.comb_processes[idx])
+                        continue
+                proc()
             self.active_process = None
             changed = self._commit_all()
 
+    # -- dry-run attribution hooks ---------------------------------------------
+
+    def _note_read(self, sig: Signal) -> None:
+        info = self._track_info
+        if info is not None:
+            info.observed_reads.add(sig)
+
+    def _note_write(self, sig: Signal, value: int) -> None:
+        info = self._track_info
+        if info is not None:
+            info.observed_writes.add(sig)
+        if value < 0 or value > sig.mask:
+            self.width_events.append((info, sig, value))
+
     # -- running ---------------------------------------------------------------
 
-    def elaborate(self) -> None:
-        """Freeze the design, run every combinational process once, settle."""
+    def elaborate(self, *, harvest_errors: bool = False) -> None:
+        """Freeze the design, run every combinational process once, settle.
+
+        The first run doubles as the read/write tracking dry run: every
+        signal access is attributed to the running combinational process
+        and recorded in its :class:`ProcessInfo`.
+
+        With ``harvest_errors=True`` (used by the lint pass) kernel errors
+        raised while elaborating — :class:`~repro.kernel.WidthError`,
+        :class:`~repro.kernel.MultipleDriverError`,
+        :class:`DeltaOverflowError` — are collected into
+        ``elaboration_errors`` instead of propagating, so a defective
+        design can still be analyzed statically.
+        """
         if self._elaborated:
             raise ElaborationError("elaborate() called twice")
         self._elaborated = True
         for tracer in self._tracers:
             for sig in self.signals:
                 tracer.declare(sig)
-        for idx, proc in enumerate(self._comb):
-            self.active_process = proc
-            proc()
-        self.active_process = None
-        self._settle()
+        self._read_hook = self._note_read
+        self._write_hook = self._note_write
+        self._harvest = harvest_errors
+        try:
+            for info in self.comb_processes:
+                self.active_process = info.process
+                self._track_info = info
+                if harvest_errors:
+                    self._run_harvested(info)
+                else:
+                    info.process()
+            self.active_process = None
+            self._track_info = None
+            if harvest_errors:
+                try:
+                    self._settle()
+                except (SignalError, SimulatorError) as exc:
+                    self.elaboration_errors.append((None, exc))
+                    self._abort_commits()
+            else:
+                self._settle()
+        finally:
+            self._read_hook = None
+            self._write_hook = None
+            self._track_info = None
+            self._harvest = False
+            self.active_process = None
 
     def step(self) -> None:
         """Advance one clock cycle: posedge, commit, settle, sample."""

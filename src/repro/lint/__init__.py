@@ -1,0 +1,62 @@
+"""Static design-rule checking (lint) for elaborated designs.
+
+The pass runs over an elaborated :class:`~repro.kernel.Simulator` *before
+any cycle is simulated* and reports structural defects — combinational
+feedback loops, driver conflicts, floating inputs, dead nets, width
+violations, incomplete sensitivity lists — as structured findings with
+severities, hierarchical locations and fix hints.  The regression flow
+lints both design views of every configuration and fails fast on
+error-severity findings; a cross-view check additionally verifies the RTL
+and BCA views present the identical port interface the common
+verification environment binds to.
+
+Public API::
+
+    from repro.lint import lint_simulator, lint_config, DesignGraph
+
+    report = lint_simulator(sim, design="my-design")
+    if report.has_errors:
+        print(report.render())
+"""
+
+from .diagnostics import (
+    Finding,
+    LintReport,
+    Severity,
+    Waiver,
+    WaiverError,
+    apply_waivers,
+    parse_waivers,
+)
+from .graph import DesignGraph
+from .rules import DEFAULT_RULES, RULES, Rule
+from .runner import (
+    ConfigLintReport,
+    cross_view_findings,
+    interface_signature,
+    lint_config,
+    lint_simulator,
+    lint_view,
+    resolve_rules,
+)
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "LintReport",
+    "Waiver",
+    "WaiverError",
+    "parse_waivers",
+    "apply_waivers",
+    "DesignGraph",
+    "Rule",
+    "RULES",
+    "DEFAULT_RULES",
+    "ConfigLintReport",
+    "lint_simulator",
+    "lint_view",
+    "lint_config",
+    "interface_signature",
+    "cross_view_findings",
+    "resolve_rules",
+]

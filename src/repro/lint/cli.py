@@ -1,0 +1,240 @@
+"""Command-line front end: ``python -m repro.lint`` / ``repro-lint``.
+
+Examples::
+
+    # lint every configuration of the built-in sweep, both views
+    python -m repro.lint --matrix --small
+
+    # lint the *.cfg files of a configuration directory, JSON output
+    python -m repro.lint configs/ --json
+
+    # show the pass catching seeded defects (exits nonzero)
+    python -m repro.lint --demo
+
+    # lint a user-provided design: module path + attribute that is (or
+    # returns) a Simulator
+    python -m repro.lint --design mypkg.mydesign:build
+
+Exit status: 0 when no error-severity findings remain after waivers,
+1 when errors remain (with ``--strict``, warnings too), 2 on usage
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from ..kernel import Simulator
+from .diagnostics import Severity, Waiver, WaiverError, parse_waivers
+from .rules import RULES
+from .runner import (
+    ConfigLintReport,
+    lint_config,
+    lint_simulator,
+    resolve_rules,
+)
+
+USAGE_EXIT = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static design-rule checker for elaborated designs "
+                    "(runs before any cycle is simulated).",
+    )
+    what = parser.add_argument_group("what to lint (pick one)")
+    what.add_argument(
+        "config_dir", nargs="?", default=None,
+        help="directory of *.cfg node configurations to lint",
+    )
+    what.add_argument(
+        "--matrix", action="store_true",
+        help="lint the built-in >36-configuration sweep",
+    )
+    what.add_argument(
+        "--small", action="store_true",
+        help="with --matrix: reduced 8-configuration subset",
+    )
+    what.add_argument(
+        "--demo", action="store_true",
+        help="lint a deliberately defective demo design (exits nonzero)",
+    )
+    what.add_argument(
+        "--design", metavar="MODULE:ATTR", default=None,
+        help="lint a user design: ATTR in MODULE must be a Simulator or a "
+             "zero-argument callable returning one",
+    )
+    parser.add_argument(
+        "--view", choices=("rtl", "bca"), action="append", default=None,
+        help="restrict config linting to one view (repeatable; default: "
+             "both, plus the cross-view interface check)",
+    )
+    parser.add_argument(
+        "--rules", metavar="ID", action="append", default=None,
+        help="run only the named rule (repeatable)",
+    )
+    parser.add_argument(
+        "--waivers", metavar="FILE", default=None,
+        help="waiver file: one '<rule-glob> <location-glob> [# reason]' "
+             "per line",
+    )
+    parser.add_argument(
+        "--waive", metavar="RULE:LOCATION", action="append", default=[],
+        help="inline waiver (repeatable), e.g. --waive 'dead-net:tb.*'",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit a JSON report instead of text",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero on warnings too, not only errors",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rules and exit",
+    )
+    return parser
+
+
+def _load_waivers(args: argparse.Namespace) -> List[Waiver]:
+    waivers: List[Waiver] = []
+    if args.waivers:
+        with open(args.waivers, "r", encoding="utf-8") as handle:
+            waivers.extend(parse_waivers(handle.read()))
+    for spec in args.waive:
+        rule, sep, location = spec.partition(":")
+        if not sep or not rule or not location:
+            raise WaiverError(
+                f"--waive expects RULE:LOCATION, got {spec!r}"
+            )
+        waivers.append(Waiver(rule, location, "command line"))
+    return waivers
+
+
+def _load_design(spec: str) -> Simulator:
+    module_name, sep, attr = spec.partition(":")
+    if not sep or not module_name or not attr:
+        raise ValueError(f"--design expects MODULE:ATTR, got {spec!r}")
+    module = importlib.import_module(module_name)
+    try:
+        obj = getattr(module, attr)
+    except AttributeError:
+        raise ValueError(f"{module_name!r} has no attribute {attr!r}")
+    if callable(obj) and not isinstance(obj, Simulator):
+        obj = obj()
+    if not isinstance(obj, Simulator):
+        raise ValueError(
+            f"{spec!r} resolved to {type(obj).__name__}, not a Simulator"
+        )
+    return obj
+
+
+def _gate(has_errors: bool, has_warnings: bool, strict: bool) -> int:
+    if has_errors:
+        return 1
+    if strict and has_warnings:
+        return 1
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            rule = RULES[rule_id]
+            print(f"{rule_id:24s} {rule.severity.value:8s} {rule.summary}")
+        print(f"{'xview-interface':24s} {'error':8s} "
+              "RTL and BCA views must expose identical port interfaces")
+        return 0
+
+    sources = [bool(args.config_dir), args.matrix, args.demo,
+               bool(args.design)]
+    if sum(sources) != 1:
+        parser.print_usage(sys.stderr)
+        print("repro-lint: pick exactly one of CONFIG_DIR, --matrix, "
+              "--demo or --design", file=sys.stderr)
+        return USAGE_EXIT
+
+    try:
+        waivers = _load_waivers(args)
+        rules = resolve_rules(args.rules)
+    except (WaiverError, ValueError, OSError) as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return USAGE_EXIT
+
+    # -- single-design modes -------------------------------------------------
+    if args.demo or args.design:
+        try:
+            if args.demo:
+                from .demo import build_defective_design
+                sim = build_defective_design()
+                design_name = "lint-demo"
+            else:
+                sim = _load_design(args.design)
+                design_name = args.design
+        except (ValueError, ImportError) as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return USAGE_EXIT
+        report = lint_simulator(sim, design=design_name, rules=rules,
+                                waivers=waivers)
+        if args.as_json:
+            print(report.to_json())
+        else:
+            print(report.render(), end="")
+        return _gate(report.has_errors, bool(report.warnings), args.strict)
+
+    # -- configuration modes -------------------------------------------------
+    if args.matrix:
+        from ..regression.configs import configuration_matrix
+        configs = configuration_matrix(small=args.small)
+    else:
+        from ..regression.configs import load_config_dir
+        from ..stbus import ConfigError
+        try:
+            configs = load_config_dir(args.config_dir)
+        except ConfigError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return USAGE_EXIT
+
+    views = tuple(args.view) if args.view else ("rtl", "bca")
+    reports: List[ConfigLintReport] = []
+    for config in configs:
+        reports.append(
+            lint_config(config, views=views, rules=rules, waivers=waivers)
+        )
+
+    has_errors = any(r.has_errors for r in reports)
+    has_warnings = any(
+        f.severity is Severity.WARNING and not f.waived
+        for r in reports for f in r.all_findings()
+    )
+    if args.as_json:
+        print(json.dumps(
+            {
+                "clean": all(r.clean for r in reports),
+                "has_errors": has_errors,
+                "configs": [r.to_dict() for r in reports],
+            },
+            indent=2,
+        ))
+    else:
+        for report in reports:
+            print(report.render(), end="")
+        n_bad = sum(1 for r in reports if r.has_errors)
+        print(f"linted {len(reports)} configuration(s) x "
+              f"{len(views)} view(s): "
+              + ("all clean of errors" if not n_bad
+                 else f"{n_bad} with errors"))
+    return _gate(has_errors, has_warnings, args.strict)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,189 @@
+"""Structured lint diagnostics: findings, reports, waivers.
+
+A :class:`Finding` is one rule violation, anchored to a signal and/or a
+process by hierarchical name and carrying a fix hint — the same shape an
+industrial HDL lint tool emits, so the regression flow can gate on
+severity and the CLI can render text or JSON.
+
+Waivers follow the usual lint-tool convention: a text file with one
+``<rule-glob> <location-glob>`` pair per line (``#`` starts a comment;
+the comment doubles as the waive reason).  Waived findings stay in the
+report — flagged, but excluded from the error count that gates the flow.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field, asdict
+from fnmatch import fnmatchcase
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class Severity(enum.Enum):
+    """Finding severity; the regression flow fails fast on ERROR."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass
+class Finding:
+    """One design-rule violation."""
+
+    rule: str
+    severity: Severity
+    message: str
+    signal: Optional[str] = None  # hierarchical signal name
+    process: Optional[str] = None  # hierarchical process name
+    path: Tuple[str, ...] = ()  # e.g. the full combinational loop
+    hint: str = ""
+    waived: bool = False
+
+    @property
+    def location(self) -> str:
+        """Primary anchor: the signal if known, else the process."""
+        return self.signal or self.process or "<design>"
+
+    def render(self) -> str:
+        mark = "waived " if self.waived else ""
+        lines = [
+            f"{mark}{self.severity.value}[{self.rule}] "
+            f"{self.location}: {self.message}"
+        ]
+        if self.path:
+            lines.append(f"    path: {' -> '.join(self.path)}")
+        if self.hint:
+            lines.append(f"    hint: {self.hint}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        data = asdict(self)
+        data["severity"] = self.severity.value
+        data["path"] = list(self.path)
+        return data
+
+
+@dataclass
+class LintReport:
+    """All findings for one analyzed design (one simulator instance)."""
+
+    design: str
+    findings: List[Finding] = field(default_factory=list)
+    n_signals: int = 0
+    n_comb: int = 0
+    n_clocked: int = 0
+
+    def _live(self) -> List[Finding]:
+        return [f for f in self.findings if not f.waived]
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self._live() if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self._live() if f.severity is Severity.WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        return bool(self.errors)
+
+    @property
+    def clean(self) -> bool:
+        """No findings at all (waived ones excepted)."""
+        return not self._live()
+
+    def sort(self) -> None:
+        self.findings.sort(
+            key=lambda f: (f.severity.rank, f.rule, f.location, f.message)
+        )
+
+    def summary(self) -> str:
+        n_err, n_warn = len(self.errors), len(self.warnings)
+        n_waived = sum(1 for f in self.findings if f.waived)
+        verdict = "CLEAN" if self.clean else f"{n_err} error(s), {n_warn} warning(s)"
+        extra = f", {n_waived} waived" if n_waived else ""
+        return (
+            f"{self.design}: {verdict}{extra} "
+            f"[{self.n_signals} signals, {self.n_comb} comb + "
+            f"{self.n_clocked} clocked processes]"
+        )
+
+    def render(self, show_waived: bool = True) -> str:
+        lines = [self.summary()]
+        for finding in self.findings:
+            if finding.waived and not show_waived:
+                continue
+            lines.append("  " + finding.render().replace("\n", "\n  "))
+        return "\n".join(lines) + "\n"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "design": self.design,
+            "n_signals": self.n_signals,
+            "n_comb": self.n_comb,
+            "n_clocked": self.n_clocked,
+            "clean": self.clean,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """Suppress findings whose rule and location match the glob patterns."""
+
+    rule: str
+    location: str
+    reason: str = ""
+
+    def matches(self, finding: Finding) -> bool:
+        return fnmatchcase(finding.rule, self.rule) and fnmatchcase(
+            finding.location, self.location
+        )
+
+
+class WaiverError(ValueError):
+    """A waiver file line could not be parsed."""
+
+
+def parse_waivers(text: str) -> List[Waiver]:
+    """Parse the waiver file format.
+
+    One waiver per line: ``<rule-glob> <location-glob> [# reason]``.
+    Blank lines and pure comment lines are skipped.
+    """
+    waivers: List[Waiver] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line, _, comment = raw.partition("#")
+        line = line.strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise WaiverError(
+                f"waiver line {lineno}: expected '<rule> <location>', "
+                f"got {raw.strip()!r}"
+            )
+        waivers.append(Waiver(parts[0], parts[1], comment.strip()))
+    return waivers
+
+
+def apply_waivers(findings: Iterable[Finding],
+                  waivers: Sequence[Waiver]) -> None:
+    """Mark findings matched by any waiver (in place)."""
+    if not waivers:
+        return
+    for finding in findings:
+        if any(w.matches(finding) for w in waivers):
+            finding.waived = True

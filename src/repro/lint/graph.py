@@ -1,0 +1,198 @@
+"""Signal dataflow graph extracted from an elaborated simulator.
+
+The graph is bipartite — signals on one side, processes on the other:
+
+* a **wake edge** runs from a signal to every combinational process that
+  lists it in its sensitivity list;
+* a **drive edge** runs from a process to every signal it is known to
+  write (observed during the elaboration dry run for combinational
+  processes, declared at registration for clocked ones).
+
+Composing the two gives the process-level graph the comb-loop rule runs
+cycle detection on; the per-signal driver/reader indexes feed the other
+rules.  Clocked dataflow is only as precise as the declarations: a design
+whose clocked processes do not declare their write (read) sets gets
+``clocked_writes_known = False`` (``clocked_reads_known = False``), and
+rules that would otherwise produce false positives disable themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..kernel import ProcessInfo, Signal, Simulator
+
+
+class DesignGraph:
+    """Driver/reader/wake indexes over one simulator's design."""
+
+    def __init__(self, sim: Simulator) -> None:
+        if not sim.elaborated:
+            raise ValueError("DesignGraph needs an elaborated simulator; "
+                             "use DesignGraph.from_simulator()")
+        self.sim = sim
+        self.signals: List[Signal] = list(sim.signals)
+        self.comb: List[ProcessInfo] = list(sim.comb_processes)
+        self.clocked: List[ProcessInfo] = list(sim.clocked_processes)
+        self.traced: bool = bool(sim.tracers)
+        self.clocked_writes_known: bool = all(
+            info.declared_writes is not None for info in self.clocked
+        )
+        self.clocked_reads_known: bool = all(
+            info.declared_reads is not None for info in self.clocked
+        )
+
+        #: signal -> comb processes woken by it (declared sensitivity).
+        self.wakes: Dict[Signal, List[ProcessInfo]] = {}
+        for info in self.comb:
+            for sig in info.sensitivity:
+                self.wakes.setdefault(sig, []).append(info)
+
+        #: signal -> processes known to drive it.
+        self.known_writers: Dict[Signal, List[ProcessInfo]] = {}
+        #: signal -> processes known to read it (sensitivity not included).
+        self.known_readers: Dict[Signal, List[ProcessInfo]] = {}
+        for info in self.comb:
+            for sig in info.observed_writes:
+                self.known_writers.setdefault(sig, []).append(info)
+            for sig in info.observed_reads:
+                self.known_readers.setdefault(sig, []).append(info)
+        for info in self.clocked:
+            for sig in info.declared_writes or ():
+                self.known_writers.setdefault(sig, []).append(info)
+            for sig in info.declared_reads or ():
+                self.known_readers.setdefault(sig, []).append(info)
+
+    @classmethod
+    def from_simulator(cls, sim: Simulator) -> "DesignGraph":
+        """Build the graph, elaborating (with error harvesting) if needed.
+
+        Elaboration *is* the dry run: it executes every combinational
+        process once under read/write tracking.  Harvest mode keeps
+        defective designs analyzable — a combinational loop or width
+        violation is recorded instead of aborting the analysis.
+        """
+        if not sim.elaborated:
+            sim.elaborate(harvest_errors=True)
+        return cls(sim)
+
+    # -- combinational cycle detection -----------------------------------------
+
+    def _comb_edges(self) -> Dict[int, Dict[int, Signal]]:
+        """Process-level adjacency: P -> Q via the first connecting signal."""
+        edges: Dict[int, Dict[int, Signal]] = {}
+        for info in self.comb:
+            out = edges.setdefault(info.index, {})
+            for sig in info.observed_writes:
+                for woken in self.wakes.get(sig, ()):
+                    out.setdefault(woken.index, sig)
+        return edges
+
+    def comb_cycles(self) -> List[List[Tuple[ProcessInfo, Signal]]]:
+        """Structural combinational feedback loops.
+
+        Returns one representative cycle per strongly-connected component
+        of the process graph, as ``[(process, signal-it-drives-next), ...]``
+        in loop order (the last signal wakes the first process again).
+        """
+        edges = self._comb_edges()
+        cycles: List[List[Tuple[ProcessInfo, Signal]]] = []
+        for component in _sccs(edges):
+            members = set(component)
+            if len(component) == 1:
+                idx = component[0]
+                if idx not in edges.get(idx, {}):
+                    continue  # trivial SCC without a self-loop
+            path = _cycle_through(edges, min(members), members)
+            if path is not None:
+                cycles.append(
+                    [(self.comb[i], edges[i][j]) for i, j in path]
+                )
+        return cycles
+
+
+def _sccs(edges: Dict[int, Dict[int, Signal]]) -> List[List[int]]:
+    """Iterative Tarjan strongly-connected components."""
+    index_of: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[int] = []
+    result: List[List[int]] = []
+    counter = [0]
+
+    for root in sorted(edges):
+        if root in index_of:
+            continue
+        # Explicit DFS stack: (node, iterator over successors).
+        work: List[Tuple[int, List[int]]] = [(root, sorted(edges.get(root, ())))]
+        index_of[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, succs = work[-1]
+            advanced = False
+            while succs:
+                nxt = succs.pop(0)
+                if nxt not in index_of:
+                    index_of[nxt] = low[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, sorted(edges.get(nxt, ()))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index_of[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index_of[node]:
+                component: List[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                result.append(component)
+    return result
+
+
+def _cycle_through(
+    edges: Dict[int, Dict[int, Signal]],
+    start: int,
+    members: Set[int],
+) -> Optional[List[Tuple[int, int]]]:
+    """A simple cycle from ``start`` back to itself inside ``members``.
+
+    Returns the cycle as ``[(src, dst), ...]`` edge pairs, or None.
+    """
+    # BFS over SCC-internal edges; parent links reconstruct the path.
+    parent: Dict[int, Tuple[int, int]] = {}
+    frontier = [start]
+    seen = {start}
+    while frontier:
+        nxt_frontier: List[int] = []
+        for node in frontier:
+            for succ in sorted(edges.get(node, ())):
+                if succ not in members:
+                    continue
+                if succ == start:
+                    path = [(node, start)]
+                    walk = node
+                    while walk != start:
+                        src, dst = parent[walk]
+                        path.append((src, dst))
+                        walk = src
+                    path.reverse()
+                    return path
+                if succ not in seen:
+                    seen.add(succ)
+                    parent[succ] = (node, succ)
+                    nxt_frontier.append(succ)
+        frontier = nxt_frontier
+    return None

@@ -1,0 +1,359 @@
+"""The static design rules.
+
+Each rule is a pure function over a :class:`~repro.lint.graph.DesignGraph`
+returning :class:`~repro.lint.diagnostics.Finding` objects.  The registry
+maps rule ids to :class:`Rule` records so the CLI can list them and the
+runner can select subsets.
+
+Soundness stance: rules are built to avoid false positives on designs the
+kernel can actually run.
+
+* Combinational dataflow is *observed* (the elaboration dry run), so a
+  write or read that only happens under runtime-dependent conditions may
+  be missed — the rules under-approximate rather than guess.
+* Clocked dataflow is *declared*; rules that need the complete driver
+  (reader) universe — ``undriven-input`` and ``dead-net`` — disable
+  themselves unless every clocked process declared its writes (reads).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..kernel import Signal
+from ..kernel.signal import MultipleDriverError, WidthError
+from ..kernel.simulator import DeltaOverflowError
+from .diagnostics import Finding, Severity
+from .graph import DesignGraph
+
+
+class Rule:
+    """A registered design rule."""
+
+    def __init__(
+        self,
+        rule_id: str,
+        severity: Severity,
+        summary: str,
+        check: Callable[[DesignGraph], List[Finding]],
+    ) -> None:
+        self.id = rule_id
+        self.severity = severity
+        self.summary = summary
+        self.check = check
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Rule({self.id}, {self.severity.value})"
+
+
+RULES: Dict[str, Rule] = {}
+
+
+def _rule(rule_id: str, severity: Severity, summary: str):
+    def register(check: Callable[[DesignGraph], List[Finding]]):
+        RULES[rule_id] = Rule(rule_id, severity, summary, check)
+        return check
+
+    return register
+
+
+# ---------------------------------------------------------------------------
+# comb-loop
+# ---------------------------------------------------------------------------
+
+@_rule(
+    "comb-loop",
+    Severity.ERROR,
+    "combinational feedback loop (would raise DeltaOverflowError)",
+)
+def check_comb_loop(graph: DesignGraph) -> List[Finding]:
+    findings: List[Finding] = []
+    cycles = graph.comb_cycles()
+    for cycle in cycles:
+        path: List[str] = []
+        for info, sig in cycle:
+            path += [info.name, sig.name]
+        path.append(cycle[0][0].name)  # close the loop visually
+        first_proc, first_sig = cycle[0]
+        findings.append(
+            Finding(
+                rule="comb-loop",
+                severity=Severity.ERROR,
+                message=(
+                    f"combinational feedback loop through "
+                    f"{len(cycle)} process(es): {' -> '.join(path)}"
+                ),
+                signal=first_sig.name,
+                process=first_proc.name,
+                path=tuple(path),
+                hint=(
+                    "break the loop with a clocked (registered) stage, or "
+                    "remove the written signal from the downstream "
+                    "sensitivity list"
+                ),
+            )
+        )
+    if not cycles:
+        # A loop the static graph missed (e.g. conditional writes first
+        # taken while settling) still surfaces as a harvested overflow.
+        for info, exc in graph.sim.elaboration_errors:
+            if isinstance(exc, DeltaOverflowError):
+                findings.append(
+                    Finding(
+                        rule="comb-loop",
+                        severity=Severity.ERROR,
+                        message=f"combinational logic failed to settle "
+                                f"during elaboration: {exc}",
+                        process=info.name if info else None,
+                        hint="break the feedback with a registered stage",
+                    )
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# multi-driver
+# ---------------------------------------------------------------------------
+
+@_rule(
+    "multi-driver",
+    Severity.ERROR,
+    "one signal with two or more registered driving processes",
+)
+def check_multi_driver(graph: DesignGraph) -> List[Finding]:
+    findings: List[Finding] = []
+    reported = set()
+    for sig, writers in graph.known_writers.items():
+        if len(writers) < 2:
+            continue
+        names = sorted(w.name for w in writers)
+        reported.add(sig.name)
+        findings.append(
+            Finding(
+                rule="multi-driver",
+                severity=Severity.ERROR,
+                message=(
+                    f"driven by {len(writers)} processes: {', '.join(names)}"
+                ),
+                signal=sig.name,
+                hint="give the signal a single owning process, or mux the "
+                     "sources explicitly",
+            )
+        )
+    for info, exc in graph.sim.elaboration_errors:
+        if isinstance(exc, MultipleDriverError):
+            # Conflicts the static sets missed (e.g. an unregistered
+            # external writer); the kernel message already names both.
+            sig_name = str(exc).split("'")[1] if "'" in str(exc) else None
+            if sig_name in reported:
+                continue
+            findings.append(
+                Finding(
+                    rule="multi-driver",
+                    severity=Severity.ERROR,
+                    message=f"driver conflict while elaborating: {exc}",
+                    signal=sig_name,
+                    process=info.name if info else None,
+                    hint="give the signal a single owning process",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# incomplete-sensitivity
+# ---------------------------------------------------------------------------
+
+@_rule(
+    "incomplete-sensitivity",
+    Severity.WARNING,
+    "combinational process reads a signal missing from its sensitivity list",
+)
+def check_incomplete_sensitivity(graph: DesignGraph) -> List[Finding]:
+    findings: List[Finding] = []
+    for info in graph.comb:
+        missing = info.observed_reads - set(info.sensitivity)
+        for sig in sorted(missing, key=lambda s: s.name):
+            findings.append(
+                Finding(
+                    rule="incomplete-sensitivity",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"read by combinational process {info.name} but "
+                        "absent from its sensitivity list (the process "
+                        "will not re-evaluate when it changes)"
+                    ),
+                    signal=sig.name,
+                    process=info.name,
+                    hint=f"add {sig.name} to the sensitivity list of "
+                         f"{info.name}",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# undriven-input
+# ---------------------------------------------------------------------------
+
+def _input_signals(graph: DesignGraph) -> List[Tuple[Signal, str]]:
+    """Signals some process depends on, with one representative consumer."""
+    consumers: Dict[Signal, str] = {}
+    for info in graph.comb:
+        for sig in info.sensitivity:
+            consumers.setdefault(sig, info.name)
+        for sig in info.observed_reads:
+            consumers.setdefault(sig, info.name)
+    for info in graph.clocked:
+        for sig in info.declared_reads or ():
+            consumers.setdefault(sig, info.name)
+    return sorted(consumers.items(), key=lambda item: item[0].name)
+
+
+@_rule(
+    "undriven-input",
+    Severity.ERROR,
+    "signal read by a process but driven by nothing (floating pin)",
+)
+def check_undriven_input(graph: DesignGraph) -> List[Finding]:
+    if not graph.clocked_writes_known:
+        # An undeclared clocked process could drive anything; stay silent
+        # rather than guess (declare `writes=` on every clocked process
+        # to enable this rule).
+        return []
+    findings: List[Finding] = []
+    for sig, consumer in _input_signals(graph):
+        if graph.known_writers.get(sig):
+            continue
+        if sig._value != sig.init:
+            continue  # toggled before/at elaboration: externally driven
+        findings.append(
+            Finding(
+                rule="undriven-input",
+                severity=Severity.ERROR,
+                message=(
+                    f"read by {consumer} but driven by no process and "
+                    "never toggled (floating input)"
+                ),
+                signal=sig.name,
+                process=consumer,
+                hint="connect a driver or tie the signal off with an "
+                     "explicit constant drive",
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# dead-net
+# ---------------------------------------------------------------------------
+
+@_rule(
+    "dead-net",
+    Severity.WARNING,
+    "signal driven but never read, never in a sensitivity list, not traced",
+)
+def check_dead_net(graph: DesignGraph) -> List[Finding]:
+    if graph.traced:
+        return []  # a tracer observes every signal
+    if not graph.clocked_reads_known:
+        return []  # an undeclared clocked process could read anything
+    findings: List[Finding] = []
+    for sig in graph.signals:
+        writers = graph.known_writers.get(sig)
+        if not writers:
+            continue
+        if graph.known_readers.get(sig) or graph.wakes.get(sig):
+            continue
+        names = ", ".join(sorted(w.name for w in writers))
+        findings.append(
+            Finding(
+                rule="dead-net",
+                severity=Severity.WARNING,
+                message=f"driven by {names} but never read, never in a "
+                        "sensitivity list, and not traced",
+                signal=sig.name,
+                hint="delete the net, or attach a tracer/reader if it is "
+                     "meant to be observed",
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# width-mismatch
+# ---------------------------------------------------------------------------
+
+@_rule(
+    "width-mismatch",
+    Severity.ERROR,
+    "a drive or stored value exceeds the signal's declared width",
+)
+def check_width_mismatch(graph: DesignGraph) -> List[Finding]:
+    findings: List[Finding] = []
+    seen = set()
+    for info, sig, value in graph.sim.width_events:
+        key = (sig.name, value)
+        if key in seen:
+            continue
+        seen.add(key)
+        by = info.name if info else "<external>"
+        findings.append(
+            Finding(
+                rule="width-mismatch",
+                severity=Severity.ERROR,
+                message=(
+                    f"process {by} drives {value}, which does not fit the "
+                    f"declared width of {sig.width} bit(s) "
+                    f"(max {sig.mask})"
+                ),
+                signal=sig.name,
+                process=info.name if info else None,
+                hint=f"widen {sig.name} or mask the driven expression",
+            )
+        )
+    for sig in graph.signals:
+        # Defensive: unreachable through the public constructor/drive API,
+        # but subclasses or direct slot pokes can corrupt the invariant.
+        if sig.init > sig.mask or sig._value > sig.mask \
+                or sig._next > sig.mask:
+            findings.append(
+                Finding(
+                    rule="width-mismatch",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"stored value exceeds the {sig.width}-bit range "
+                        f"(init={sig.init}, value={sig._value}, "
+                        f"next={sig._next}, max={sig.mask})"
+                    ),
+                    signal=sig.name,
+                    hint=f"declare {sig.name} wide enough for its values",
+                )
+            )
+    # Width errors harvested from processes but not seen by the write hook
+    # (cannot happen through Signal.drive; kept for completeness).
+    for info, exc in graph.sim.elaboration_errors:
+        if isinstance(exc, WidthError) and not graph.sim.width_events:
+            findings.append(
+                Finding(
+                    rule="width-mismatch",
+                    severity=Severity.ERROR,
+                    message=f"width violation while elaborating: {exc}",
+                    process=info.name if info else None,
+                )
+            )
+    return findings
+
+
+#: Evaluation order (deterministic output order).
+DEFAULT_RULES: Tuple[Rule, ...] = tuple(
+    RULES[rule_id]
+    for rule_id in (
+        "comb-loop",
+        "multi-driver",
+        "undriven-input",
+        "width-mismatch",
+        "incomplete-sensitivity",
+        "dead-net",
+    )
+)

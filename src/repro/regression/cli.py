@@ -49,7 +49,31 @@ def build_parser() -> argparse.ArgumentParser:
                              "(experiments only)")
     parser.add_argument("--no-compare", action="store_true",
                         help="skip the bus-accurate comparison")
+    parser.add_argument("--skip-lint", action="store_true",
+                        help="skip the static lint gate that checks both "
+                             "views of every configuration before running")
+    parser.add_argument("--lint-waivers", metavar="FILE", default=None,
+                        help="waiver file for the lint gate (see "
+                             "python -m repro.lint --help)")
     return parser
+
+
+def _lint_gate(configs, waiver_file: Optional[str]) -> int:
+    """Lint both views of every configuration; return the number that
+    have error-severity findings (each is reported on stderr)."""
+    from ..lint import lint_config, parse_waivers
+
+    waivers = ()
+    if waiver_file:
+        with open(waiver_file, "r", encoding="utf-8") as handle:
+            waivers = parse_waivers(handle.read())
+    n_bad = 0
+    for config in configs:
+        result = lint_config(config, waivers=waivers)
+        if result.has_errors:
+            n_bad += 1
+            print(result.render(), end="", file=sys.stderr)
+    return n_bad
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -59,6 +83,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if not args.skip_lint:
+        try:
+            n_bad = _lint_gate(configs, args.lint_waivers)
+        except OSError as exc:
+            print(f"error: cannot read lint waivers: {exc}", file=sys.stderr)
+            return 2
+        except Exception as exc:  # WaiverError and friends
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if n_bad:
+            print(f"error: static lint failed for {n_bad} "
+                  "configuration(s); fix the findings or rerun with "
+                  "--skip-lint", file=sys.stderr)
+            return 1
     runner = RegressionRunner(
         configs,
         tests=args.tests,

@@ -23,10 +23,13 @@ from .runner import ConfigReport, RegressionRunner
 
 
 class FlowState(enum.Enum):
-    """The boxes of Figure 4."""
+    """The boxes of Figure 4 (plus the static lint gate added in front
+    of model verification: defective testbench/model structure is caught
+    before any cycle is simulated)."""
 
     FUNCTIONAL_SPEC = "functional_specifications"
     VERIFICATION_IMPL = "verification_implementation"
+    STATIC_LINT = "static_design_lint"
     MODEL_VERIFICATION = "rtl_and_bca_verification"
     BUS_ACCURATE_COMPARISON = "bus_accurate_comparison"
     SIGNED_OFF = "signed_off"
@@ -76,6 +79,7 @@ class CommonVerificationFlow:
         workdir: Optional[str] = None,
         initial_bca_bugs: Sequence[str] = (),
         max_iterations: int = 4,
+        lint: bool = True,
     ):
         self.config = config
         self.tests = tests
@@ -83,6 +87,7 @@ class CommonVerificationFlow:
         self.workdir = workdir
         self.bca_bugs = frozenset(initial_bca_bugs)
         self.max_iterations = max_iterations
+        self.lint = lint
         self.history: List[FlowEvent] = []
         self.state = FlowState.FUNCTIONAL_SPEC
 
@@ -103,6 +108,38 @@ class CommonVerificationFlow:
         else:
             self.seeds = list(self.seeds) + [max(self.seeds) + 1]
 
+    def _run_lint(self) -> bool:
+        """Static lint gate: both views, before any cycle is simulated.
+
+        Returns True when no error-severity finding remains; warnings are
+        recorded in the history but do not block the flow.
+        """
+        from ..lint import lint_config
+
+        result = lint_config(self.config)
+        n_warn = sum(
+            1 for f in result.all_findings()
+            if not f.waived and f.severity.value == "warning"
+        )
+        if result.has_errors:
+            bad = [
+                f for f in result.all_findings()
+                if not f.waived and f.severity.value == "error"
+            ]
+            self._enter(
+                FlowState.STATIC_LINT,
+                f"{len(bad)} error-severity finding(s) "
+                f"({', '.join(sorted({f.rule for f in bad}))}): "
+                "fix the design before simulating",
+            )
+            return False
+        self._enter(
+            FlowState.STATIC_LINT,
+            "both views lint clean and expose identical port interfaces"
+            + (f" ({n_warn} warning(s))" if n_warn else ""),
+        )
+        return True
+
     def _run_regression(self) -> ConfigReport:
         runner = RegressionRunner(
             [self.config], tests=self.tests, seeds=self.seeds,
@@ -117,6 +154,8 @@ class CommonVerificationFlow:
             FlowState.VERIFICATION_IMPL,
             "common environment built from the functional spec only",
         )
+        if self.lint and not self._run_lint():
+            return FlowOutcome(False, 0, self.history, None)
         report: Optional[ConfigReport] = None
         for iteration in range(1, self.max_iterations + 1):
             self._enter(

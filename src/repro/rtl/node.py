@@ -193,7 +193,22 @@ class RtlNode(Module):
         self._err_pop = [self.signal(f"err_pop{i}") for i in range(n_init)]
 
         # -- processes ---------------------------------------------------------------
-        self.clocked(self._clk_proc)
+        pin_universe = [
+            sig for port in self.init_ports + self.targ_ports
+            for sig in port.signals()
+        ]
+        if self.prog_port is not None:
+            pin_universe += self.prog_port.signals()
+        clk_writes = [self._tick]
+        for port in self.targ_ports:
+            clk_writes += port.request_signals()
+        for port in self.init_ports:
+            clk_writes += port.response_signals()
+        self.clocked(
+            self._clk_proc,
+            reads=pin_universe + [self._tick] + self._err_pop,
+            writes=clk_writes,
+        )
         sens = [self._tick]
         for port in self.init_ports:
             sens += [port.req, port.add, port.eop, port.lck]

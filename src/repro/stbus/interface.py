@@ -174,6 +174,25 @@ class StbusPort:
             self.r_src, self.r_tid,
         ]
 
+    def request_signals(self) -> List[Signal]:
+        """Request-channel fields owned by the requesting side (not gnt).
+
+        This is the write set of whatever drives requests into this port —
+        an initiator BFM, or the node's target-side output stage.  Used by
+        the static lint pass's clocked write/read declarations.
+        """
+        return [
+            self.req, self.add, self.opc, self.data, self.be,
+            self.eop, self.lck, self.tid, self.src, self.pri,
+        ]
+
+    def response_signals(self) -> List[Signal]:
+        """Response-channel fields owned by the responding side (not r_gnt)."""
+        return [
+            self.r_req, self.r_opc, self.r_data, self.r_eop,
+            self.r_src, self.r_tid,
+        ]
+
 
 #: Type I command encodings (limited command set).
 T1_IDLE = 0

@@ -1,0 +1,97 @@
+"""CLI tests: exit codes, JSON output, waivers, design loading."""
+
+import json
+
+import pytest
+
+from repro.lint.cli import main
+from repro.regression.configs import configuration_matrix, save_config_dir
+
+
+def test_demo_exits_nonzero_and_names_the_loop(capsys):
+    assert main(["--demo"]) == 1
+    out = capsys.readouterr().out
+    assert "comb-loop" in out
+    assert "demo.invert_b" in out and "demo.invert_a" in out
+    assert "undriven-input" in out
+    assert "demo.floating_in" in out
+
+
+def test_demo_json_output(capsys):
+    assert main(["--demo", "--json"]) == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["design"] == "lint-demo"
+    assert data["errors"] >= 4
+    rules = {f["rule"] for f in data["findings"]}
+    assert "comb-loop" in rules and "width-mismatch" in rules
+
+
+def test_waiving_everything_clears_the_gate(capsys):
+    assert main(["--demo", "--waive", "*:*"]) == 0
+    assert "waived" in capsys.readouterr().out
+
+
+def test_strict_fails_on_warnings(capsys):
+    # Keep only the warning-severity findings alive.
+    argv = ["--demo", "--waive", "comb-loop:*", "--waive", "multi-driver:*",
+            "--waive", "undriven-input:*", "--waive", "width-mismatch:*"]
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert main(argv + ["--strict"]) == 1
+
+
+def test_rule_selection(capsys):
+    assert main(["--demo", "--rules", "dead-net"]) == 0  # warnings only
+    out = capsys.readouterr().out
+    assert "dead-net" in out
+    assert "comb-loop" not in out
+
+
+def test_unknown_rule_is_usage_error(capsys):
+    assert main(["--demo", "--rules", "no-such-rule"]) == 2
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("comb-loop", "multi-driver", "undriven-input",
+                 "dead-net", "width-mismatch", "incomplete-sensitivity",
+                 "xview-interface"):
+        assert rule in out
+
+
+def test_requires_exactly_one_source(capsys):
+    assert main([]) == 2
+    assert main(["--demo", "--matrix"]) == 2
+
+
+def test_design_loading(capsys):
+    assert main(["--design", "repro.lint.demo:build_defective_design"]) == 1
+    assert main(["--design", "not-a-spec"]) == 2
+    assert main(["--design", "repro.lint.demo:missing_attr"]) == 2
+
+
+def test_config_dir_mode(tmp_path, capsys):
+    save_config_dir(configuration_matrix(small=True)[:2], str(tmp_path))
+    assert main([str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "cross-view interface OK" in out
+    assert "linted 2 configuration(s) x 2 view(s)" in out
+
+
+def test_config_dir_single_view(tmp_path, capsys):
+    save_config_dir(configuration_matrix(small=True)[:1], str(tmp_path))
+    assert main([str(tmp_path), "--view", "rtl"]) == 0
+    out = capsys.readouterr().out
+    assert "/rtl: CLEAN" in out
+    assert "/bca" not in out
+
+
+def test_waiver_file(tmp_path, capsys):
+    waiver_file = tmp_path / "waivers.txt"
+    waiver_file.write_text("* * # waive the world\n", encoding="utf-8")
+    assert main(["--demo", "--waivers", str(waiver_file)]) == 0
+    bad = tmp_path / "bad.txt"
+    bad.write_text("too many tokens here\n", encoding="utf-8")
+    capsys.readouterr()
+    assert main(["--demo", "--waivers", str(bad)]) == 2
