@@ -15,6 +15,12 @@ between compiled SystemC and event-driven RTL simulation was larger than
 a pure-Python kernel can show.)
 """
 
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.bca import BcaNode
@@ -22,6 +28,7 @@ from repro.bca.fast import FastBcaSim
 from repro.catg.bfm import InitiatorBfm
 from repro.catg.target import TargetHarness
 from repro.kernel import Module, Simulator
+from repro.regression import RegressionRunner
 from repro.regression.testcases import build_test
 from repro.rtl import RtlNode
 from repro.stbus import ArbitrationPolicy, NodeConfig, StbusPort
@@ -111,3 +118,102 @@ def test_e5_speed_ordering(benchmark):
     # BCA is not slower than pin-level RTL (tolerate 10% timing noise).
     assert rates["bca_fast"] > rates["rtl"] * 1.3
     assert rates["bca_pin"] > rates["rtl"] * 0.9
+
+
+# ---------------------------------------------------------------------------
+# Regression throughput: serial vs --jobs N (the parallel batch engine).
+# ---------------------------------------------------------------------------
+
+#: Kernel cycles/s of the seed commit, measured with this same harness
+#: before the fast-path/VCD work landed (median of 10 run_pin(RtlNode)
+#: repetitions on the reference container).  Kept here so the JSON always
+#: records what the optimization is being compared against.
+PRE_PR_BASELINE = {"rtl_pin_cycles_per_second": 3862}
+
+REG_CONFIGS = [
+    NodeConfig(n_initiators=2, n_targets=2, name="bench_a"),
+    NodeConfig(n_initiators=3, n_targets=2,
+               arbitration=ArbitrationPolicy.LRU, name="bench_b"),
+]
+REG_TESTS = ["t01_sanity_write_read", "t02_random_uniform",
+             "t06_lru_fairness", "t10_hotspot"]
+
+
+def _available_cpus():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def _run_regression(jobs, workdir):
+    runner = RegressionRunner(REG_CONFIGS, tests=REG_TESTS, seeds=(1,),
+                              workdir=str(workdir), jobs=jobs)
+    return runner.run()
+
+
+def _median_wall(jobs, tmp_path, rounds=3):
+    times = []
+    for i in range(rounds):
+        workdir = tmp_path / f"j{jobs}_r{i}"
+        start = time.perf_counter()
+        report = _run_regression(jobs, workdir)
+        times.append(time.perf_counter() - start)
+        assert report.all_signed_off is not None  # report assembled
+    return statistics.median(times), report
+
+
+def test_e5_regression_throughput(tmp_path):
+    """Serial vs parallel batch over the same work list.
+
+    The speedup assertion is core-count-aware: on a single-CPU box a
+    process pool cannot beat serial, so we only require that it is not
+    pathologically slower; with four or more CPUs we require a real
+    (>= 2x) speedup, per the engine's design goal.
+    """
+    cpus = _available_cpus()
+    jobs = min(4, cpus) if cpus > 1 else 2
+    serial_s, serial_report = _median_wall(1, tmp_path)
+    parallel_s, parallel_report = _median_wall(jobs, tmp_path)
+    n_runs = serial_report.n_runs
+    _RESULTS["regression_serial_runs_per_second"] = n_runs / serial_s
+    _RESULTS["regression_parallel_runs_per_second"] = n_runs / parallel_s
+    _RESULTS["regression_jobs"] = jobs
+    _RESULTS["cpus"] = cpus
+    print()
+    print(f"[E5] regression serial:   {n_runs / serial_s:6.1f} runs/s "
+          f"({serial_s:.2f}s for {n_runs} runs)")
+    print(f"[E5] regression jobs={jobs}:   {n_runs / parallel_s:6.1f} runs/s "
+          f"({parallel_s:.2f}s, {cpus} cpu(s))")
+    # Observability first: identical summary regardless of jobs.
+    assert serial_report.render() == parallel_report.render()
+    if cpus >= 4:
+        assert serial_s / parallel_s >= 2.0
+    elif cpus >= 2:
+        assert serial_s / parallel_s >= 1.2
+    else:
+        # One CPU: the pool only adds overhead; bound it.
+        assert parallel_s <= serial_s * 2.0
+
+
+def test_e5_record_results_json():
+    """Persist the measured rates next to the benchmarks for the docs.
+
+    Runs last (pytest executes this file in order); regenerate with
+    ``PYTHONPATH=src python -m pytest benchmarks/test_bench_sim_speed.py``.
+    """
+    required = {"regression_serial_runs_per_second",
+                "regression_parallel_runs_per_second"}
+    if not required.issubset(_RESULTS):
+        pytest.skip("run the throughput benchmarks first")
+    payload = {
+        "harness": "benchmarks/test_bench_sim_speed.py",
+        "pre_pr_baseline": PRE_PR_BASELINE,
+        "results": {
+            key: (round(value, 1) if isinstance(value, float) else value)
+            for key, value in sorted(_RESULTS.items())
+        },
+    }
+    path = Path(__file__).with_name("BENCH_sim_speed.json")
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    assert json.loads(path.read_text(encoding="utf-8"))["results"]

@@ -187,9 +187,13 @@ class VerificationEnv:
             )
             if with_arbitration_checker else None
         )
-        probe_reads = [
-            sig for port in self.init_ports for sig in (port.req, port.add)
-        ]
+        # Probe hot path: the (req, add) signal pairs and the resolved
+        # address map never change after construction, so resolve them
+        # once here instead of re-walking ports (and re-materializing the
+        # default AddressMap through the property) every cycle.
+        self._probe_pairs = [(port.req, port.add) for port in self.init_ports]
+        self._probe_map = config.resolved_map
+        probe_reads = [sig for pair in self._probe_pairs for sig in pair]
         if self.prog_port is not None:
             probe_reads += [
                 self.prog_port.req, self.prog_port.ack, self.prog_port.opc,
@@ -203,11 +207,11 @@ class VerificationEnv:
     # -- per-cycle coverage probe -------------------------------------------
 
     def _coverage_probe(self) -> None:
-        amap = self.config.resolved_map
+        decode = self._probe_map.decode
         requesting: Dict[int, int] = {}
-        for port in self.init_ports:
-            if port.req.value:
-                target = amap.decode(port.add.value)
+        for req, add in self._probe_pairs:
+            if req._value:
+                target = decode(add._value)
                 if target is not None:
                     requesting[target] = requesting.get(target, 0) + 1
         self.coverage.sample_cycle(requesting)

@@ -15,11 +15,26 @@ Every signal also records the distinct processes that have ever driven it
 (``drivers``); the static lint pass (:mod:`repro.lint`) and the
 :class:`MultipleDriverError` diagnostics both rely on that bookkeeping to
 name the offending processes instead of printing bare values.
+
+Fast path
+---------
+
+Reads and writes carry per-access overhead that only matters *during*
+elaboration: the read/write attribution hooks exist solely for the
+one-shot dry run that feeds the static lint pass.  Once
+:meth:`~repro.kernel.simulator.Simulator.elaborate` returns, the
+simulator flips every bound signal to :class:`_FastSignal`, a
+layout-compatible subclass whose accessors skip the hook checks entirely.
+All contracts survive the switch: :class:`WidthError` and
+:class:`MultipleDriverError` are still raised with the same
+process-named messages, and ``drivers`` bookkeeping still works (backed
+by a set for O(1) membership, with the ordered list kept for
+diagnostics).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Set, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from .simulator import Simulator
@@ -62,6 +77,7 @@ class Signal:
         "_pending",
         "_writer",
         "_drivers",
+        "_driver_set",
         "_sim",
         "vcd_id",
     )
@@ -82,6 +98,7 @@ class Signal:
         self._pending = False
         self._writer: Optional[object] = None
         self._drivers: List[object] = []
+        self._driver_set: Set[object] = set()
         self._sim: Optional["Simulator"] = None
         self.vcd_id: Optional[str] = None
 
@@ -137,8 +154,12 @@ class Signal:
         writer = sim.active_process if sim is not None else None
         if writer is not None:
             drivers = self._drivers
+            # Identity check first: the overwhelmingly common case is the
+            # same process re-driving its own output, and ``is`` beats
+            # hashing a bound method.  The set makes the miss O(1).
             if (not drivers or drivers[-1] is not writer) \
-                    and writer not in drivers:
+                    and writer not in self._driver_set:
+                self._driver_set.add(writer)
                 drivers.append(writer)
         if self._pending:
             if self._next != value and self._writer is not writer:
@@ -171,6 +192,17 @@ class Signal:
     def next(self, value: int) -> None:
         self.drive(value)
 
+    def poke(self, value: int) -> None:
+        """Drive ``value`` and commit it immediately.
+
+        For replaying recorded traces onto unbound signals (the VCD
+        ``dump_to_string`` helper, testbench scaffolding) — not for use
+        inside simulation processes, where the deferred-commit contract
+        of :meth:`drive` applies.
+        """
+        self.drive(value)
+        self._commit()
+
     # -- introspection -------------------------------------------------------
 
     @property
@@ -194,6 +226,15 @@ class Signal:
             )
         self._sim = sim
 
+    def _enable_fast_path(self) -> None:
+        """Swap in the post-elaboration fast accessors (idempotent).
+
+        Only bound signals switch: an unbound signal has no simulator to
+        take ``active_process`` from, so it keeps the guarded slow path.
+        """
+        if self._sim is not None and type(self) is Signal:
+            self.__class__ = _FastSignal
+
     def _commit(self) -> bool:
         """Apply the pending value. Returns True if the value changed."""
         self._pending = False
@@ -205,3 +246,74 @@ class Signal:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Signal({self.name!r}, width={self.width}, value={self._value})"
+
+
+class _FastSignal(Signal):
+    """Post-elaboration accessors with the dry-run hook checks removed.
+
+    The attribution hooks (``sim._read_hook``/``sim._write_hook``) only
+    ever exist while :meth:`Simulator.elaborate` runs; afterwards every
+    read paid two attribute loads and a comparison for nothing, on the
+    hottest path in the kernel.  ``__slots__`` stays empty so instances
+    keep the exact :class:`Signal` layout and ``__class__`` assignment is
+    legal.  Width validation, driver bookkeeping and the
+    :class:`MultipleDriverError` diagnostics are byte-for-byte the same
+    as the slow path.
+    """
+
+    __slots__ = ()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __bool__(self) -> bool:
+        return self._value != 0
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def drive(self, value: int) -> None:
+        if type(value) is not int:
+            value = int(value)
+        if value < 0 or value > self.mask:
+            raise WidthError(
+                f"signal {self.name!r}: value {value} does not fit in "
+                f"{self.width} bits"
+            )
+        sim = self._sim
+        writer = sim.active_process
+        if writer is not None:
+            drivers = self._drivers
+            if (not drivers or drivers[-1] is not writer) \
+                    and writer not in self._driver_set:
+                self._driver_set.add(writer)
+                drivers.append(writer)
+        if self._pending:
+            if self._next != value and self._writer is not writer:
+                raise MultipleDriverError(
+                    f"signal {self.name!r}: driven to {self._next} by process "
+                    f"{sim.process_label(self._writer)} and to {value} by "
+                    f"process {sim.process_label(writer)} in the "
+                    "same delta cycle"
+                )
+            self._next = value
+            self._writer = writer
+            return
+        self._next = value
+        self._pending = True
+        self._writer = writer
+        sim._commit_queue.append(self)
+
+    # ``next`` is re-declared so the setter dispatches to the fast drive
+    # without an extra method-resolution hop through the base property.
+    @property
+    def next(self) -> int:
+        return self._next
+
+    @next.setter
+    def next(self, value: int) -> None:
+        self.drive(value)

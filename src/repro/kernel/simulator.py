@@ -111,6 +111,20 @@ class Tracer:
     def sample(self, cycle: int, signals: Sequence[Signal]) -> None:
         raise NotImplementedError  # pragma: no cover - interface
 
+    def sample_changes(
+        self,
+        cycle: int,
+        signals: Sequence[Signal],
+        changed: Set[Signal],
+    ) -> None:
+        """Per-cycle sample with the set of signals that committed a
+        change this cycle.  The default falls back to the full
+        :meth:`sample` scan, so tracers that predate the fast path keep
+        working; observers that only care about deltas (the VCD writer)
+        override this and skip the unchanged majority.
+        """
+        self.sample(cycle, signals)
+
     def finish(self, cycle: int) -> None:
         """Called when the simulation ends; flush buffered output."""
 
@@ -135,6 +149,15 @@ class Simulator:
         self._sensitivity: Dict[Signal, List[int]] = {}
         self._commit_queue: List[Signal] = []
         self._tracers: List[Tracer] = []
+        # Per-cycle changed-signal set, maintained only when tracers are
+        # attached (the VCD writer samples just these instead of scanning
+        # every signal every cycle).
+        self._track_changes = False
+        self._cycle_changed: Set[Signal] = set()
+        # O(1) process -> label lookups (by id; the registration lists
+        # keep every process object alive, so ids are never recycled).
+        self._comb_labels: Dict[int, str] = {}
+        self._clocked_labels: Dict[int, str] = {}
         self._elaborated = False
         self._finished = False
         self.now = 0  #: number of completed clock cycles
@@ -196,6 +219,7 @@ class Simulator:
         )
         self._clocked.append(process)
         self.clocked_processes.append(info)
+        self._clocked_labels.setdefault(id(process), info.name)
 
     def add_comb(
         self,
@@ -220,6 +244,7 @@ class Simulator:
         )
         self._comb.append(process)
         self.comb_processes.append(info)
+        self._comb_labels.setdefault(id(process), info.name)
         for sig in sens:
             self._sensitivity.setdefault(sig, []).append(idx)
 
@@ -243,13 +268,12 @@ class Simulator:
         """Human-readable name for a registered process object."""
         if process is None:
             return "<external>"
-        for info in self.comb_processes:
-            if info.process is process:
-                return info.name
-        for info in self.clocked_processes:
-            if info.process is process:
-                return info.name
-        return _default_label(process)  # not registered here
+        label = self._comb_labels.get(id(process))
+        if label is None:
+            label = self._clocked_labels.get(id(process))
+        if label is None:
+            return _default_label(process)  # not registered here
+        return label
 
     # -- kernel internals ------------------------------------------------------
 
@@ -258,10 +282,18 @@ class Simulator:
 
     def _commit_all(self) -> List[Signal]:
         changed: List[Signal] = []
+        append = changed.append
         queue, self._commit_queue = self._commit_queue, []
+        # Signal._commit inlined: this runs once per scheduled write and
+        # the method-call overhead alone was measurable (see E5 bench).
         for sig in queue:
-            if sig._commit():
-                changed.append(sig)
+            sig._pending = False
+            sig._writer = None
+            if sig._next != sig._value:
+                sig._value = sig._next
+                append(sig)
+        if self._track_changes and changed:
+            self._cycle_changed.update(changed)
         return changed
 
     def _abort_commits(self) -> None:
@@ -374,6 +406,12 @@ class Simulator:
             self._track_info = None
             self._harvest = False
             self.active_process = None
+        # The dry run is over and the hooks are gone for good: switch
+        # every signal to the unguarded fast accessors, and start
+        # maintaining the per-cycle changed-signal set tracers sample.
+        for sig in self.signals:
+            sig._enable_fast_path()
+        self._track_changes = bool(self._tracers)
 
     def step(self) -> None:
         """Advance one clock cycle: posedge, commit, settle, sample."""
@@ -386,8 +424,12 @@ class Simulator:
             proc()
         self.active_process = None
         self._settle()
-        for tracer in self._tracers:
-            tracer.sample(self.now, self.signals)
+        if self._tracers:
+            changed = self._cycle_changed
+            for tracer in self._tracers:
+                tracer.sample_changes(self.now, self.signals, changed)
+            if changed:
+                changed.clear()
         self.now += 1
 
     def run(self, cycles: int) -> None:

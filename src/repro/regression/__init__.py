@@ -14,6 +14,7 @@ from .flow import (
     FlowOutcome,
     FlowState,
 )
+from .parallel import RunJob, default_jobs, execute_run_job
 
 __all__ = [
     "configuration_matrix",
@@ -29,4 +30,7 @@ __all__ = [
     "FlowState",
     "FlowEvent",
     "FlowOutcome",
+    "RunJob",
+    "default_jobs",
+    "execute_run_job",
 ]

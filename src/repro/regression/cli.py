@@ -47,6 +47,10 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=sorted(ALL_BUGS), metavar="BUG",
                         help="seed these bugs into the BCA view "
                              "(experiments only)")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="worker processes for the batch (default: 1, "
+                             "serial; 0 = one per available CPU); the "
+                             "summary is byte-identical for any N")
     parser.add_argument("--no-compare", action="store_true",
                         help="skip the bus-accurate comparison")
     parser.add_argument("--skip-lint", action="store_true",
@@ -97,6 +101,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                   "configuration(s); fix the findings or rerun with "
                   "--skip-lint", file=sys.stderr)
             return 1
+    jobs = args.jobs
+    if jobs == 0:
+        from .parallel import default_jobs
+
+        jobs = default_jobs()
+    elif jobs < 0:
+        print(f"error: --jobs must be >= 0, got {jobs}", file=sys.stderr)
+        return 2
     runner = RegressionRunner(
         configs,
         tests=args.tests,
@@ -104,7 +116,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         workdir=args.workdir,
         compare_waveforms=not args.no_compare,
         bca_bugs=set(args.bugs),
+        jobs=jobs,
     )
     report = runner.run()
     print(report.render(), end="")
+    # Timing goes to stderr so stdout (and the summary artifact) stay
+    # byte-identical between serial and parallel runs.
+    print(f"[{report.n_runs} runs in {report.wall_seconds:.1f}s, "
+          f"jobs={jobs}]", file=sys.stderr)
     return 0 if report.all_signed_off else 1

@@ -80,6 +80,7 @@ class CommonVerificationFlow:
         initial_bca_bugs: Sequence[str] = (),
         max_iterations: int = 4,
         lint: bool = True,
+        jobs: int = 1,
     ):
         self.config = config
         self.tests = tests
@@ -88,6 +89,7 @@ class CommonVerificationFlow:
         self.bca_bugs = frozenset(initial_bca_bugs)
         self.max_iterations = max_iterations
         self.lint = lint
+        self.jobs = jobs
         self.history: List[FlowEvent] = []
         self.state = FlowState.FUNCTIONAL_SPEC
 
@@ -144,6 +146,7 @@ class CommonVerificationFlow:
         runner = RegressionRunner(
             [self.config], tests=self.tests, seeds=self.seeds,
             workdir=self.workdir, bca_bugs=self.bca_bugs,
+            jobs=self.jobs,
         )
         return runner.run().configs[0]
 

@@ -1,0 +1,130 @@
+"""Parallel batch execution for the regression tool.
+
+The paper's regression tool "runs regression tests in batch mode" across
+many node configurations and seeds; every (config, test, seed, view) run
+is independent of every other — the test factories are deterministic in
+(config, seed), both views rebuild the test from scratch, and each run
+owns its VCD/report files.  That makes the batch embarrassingly
+parallel: this module fans the runs out over a process pool and the
+bus-accurate comparisons out behind them, while the
+:class:`~repro.regression.runner.RegressionRunner` assembles the results
+in the same deterministic order as a serial run — so the final
+:class:`~repro.regression.runner.RegressionReport` (entry order,
+coverage merge, sign-off verdict, rendered text) is byte-identical for
+``jobs=1`` and ``jobs=N``.
+
+Everything that crosses the process boundary is a plain picklable value:
+a :class:`RunJob` in, a :class:`~repro.catg.env.RunResult` (or
+:class:`~repro.analyzer.AlignmentReport`) out.  Workers rebuild the test
+program locally instead of shipping it, exactly as the serial path does.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..analyzer import AlignmentReport, compare_vcds
+from ..catg.env import RunResult, run_test
+from ..stbus import NodeConfig
+from .testcases import build_test
+
+#: (config index, test name, seed) — one regression entry (both views).
+EntryKey = Tuple[int, str, int]
+#: EntryKey plus the view — one simulation run.
+RunKey = Tuple[int, str, int, str]
+
+
+@dataclass(frozen=True)
+class RunJob:
+    """One simulation run, fully described by picklable values."""
+
+    config: NodeConfig
+    test_name: str
+    seed: int
+    view: str
+    vcd_path: Optional[str]
+    report_stem: Optional[str]
+    bugs: FrozenSet[str]
+    with_arbitration_checker: bool
+
+
+def write_run_reports(stem: str, result: RunResult) -> None:
+    """Per-(test, seed) artifacts: "a verification report and a
+    functional coverage one are generated" (Section 4)."""
+    with open(stem + ".report.txt", "w", encoding="utf-8") as handle:
+        handle.write(result.report.render())
+    with open(stem + ".coverage.txt", "w", encoding="utf-8") as handle:
+        handle.write(result.coverage.render())
+
+
+def execute_run_job(job: RunJob) -> RunResult:
+    """Run one (config, test, seed, view); artifact files land where the
+    serial path puts them.  Runs in a worker process under ``jobs=N`` and
+    inline under ``jobs=1`` — identical code either way."""
+    test = build_test(job.test_name, job.config, job.seed)
+    result = run_test(
+        job.config, test, view=job.view,
+        bugs=job.bugs if job.view == "bca" else (),
+        vcd_path=job.vcd_path,
+        with_arbitration_checker=job.with_arbitration_checker,
+    )
+    if job.report_stem:
+        write_run_reports(job.report_stem, result)
+    return result
+
+
+def execute_batch(
+    jobs_by_key: Dict[RunKey, RunJob],
+    *,
+    jobs: int,
+    compare_waveforms: bool,
+) -> Tuple[Dict[RunKey, RunResult], Dict[EntryKey, AlignmentReport]]:
+    """Execute every run job over ``jobs`` worker processes.
+
+    As soon as both views of an entry finish, its bus-accurate comparison
+    is submitted to the same pool, so comparisons overlap with the
+    remaining simulations instead of waiting behind a barrier.
+    """
+    results: Dict[RunKey, RunResult] = {}
+    alignments: Dict[EntryKey, AlignmentReport] = {}
+    vcd_paths: Dict[RunKey, Optional[str]] = {
+        key: job.vcd_path for key, job in jobs_by_key.items()
+    }
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        future_runs = {
+            pool.submit(execute_run_job, job): key
+            for key, job in jobs_by_key.items()
+        }
+        future_compares = {}
+        done_views: Dict[EntryKey, set] = {}
+        pending = set(future_runs)
+        while pending:
+            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in finished:
+                key = future_runs[future]
+                results[key] = future.result()
+                entry_key = key[:3]
+                views = done_views.setdefault(entry_key, set())
+                views.add(key[3])
+                if views == {"rtl", "bca"} and compare_waveforms:
+                    rtl_vcd = vcd_paths[entry_key + ("rtl",)]
+                    bca_vcd = vcd_paths[entry_key + ("bca",)]
+                    if rtl_vcd and bca_vcd:
+                        future_compares[entry_key] = pool.submit(
+                            compare_vcds, rtl_vcd, bca_vcd
+                        )
+        for entry_key, future in future_compares.items():
+            alignments[entry_key] = future.result()
+    return results, alignments
+
+
+def default_jobs() -> int:
+    """A sensible ``--jobs`` default for "use the machine": one worker
+    per available CPU (respecting affinity masks under cgroups/taskset)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1

@@ -24,9 +24,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..analyzer import AlignmentReport, compare_vcds
 from ..catg.coverage import CoverageModel, build_node_coverage
-from ..catg.env import RunResult, run_test
+from ..catg.env import RunResult
 from ..stbus import NodeConfig
-from .testcases import TESTCASES, build_test
+from .testcases import TESTCASES
 
 
 @dataclass
@@ -142,9 +142,12 @@ class RegressionReport:
         return 2 * sum(len(c.entries) for c in self.configs)
 
     def render(self) -> str:
+        # Deliberately excludes wall_seconds: the rendered summary (and
+        # the regression_summary.txt artifact) must be byte-identical
+        # between serial and parallel runs of the same matrix.
         lines = [
             f"Regression: {len(self.configs)} configurations, "
-            f"{self.n_runs} runs, {self.wall_seconds:.1f}s",
+            f"{self.n_runs} runs",
             f"All signed off: {self.all_signed_off}",
         ]
         for config in self.configs:
@@ -176,6 +179,13 @@ class RegressionRunner:
         therefore alignment comparison).
     bca_bugs:
         Seeded bugs for the BCA view (experiments only).
+    jobs:
+        Number of worker processes for the batch.  ``1`` (default) runs
+        everything serially in this process; ``N > 1`` fans the
+        independent (config, test, seed, view) runs — and the
+        bus-accurate comparisons behind them — out over a process pool.
+        The assembled report and every artifact are byte-identical
+        either way.
     """
 
     def __init__(
@@ -187,6 +197,7 @@ class RegressionRunner:
         compare_waveforms: bool = True,
         bca_bugs=(),
         with_arbitration_checker: bool = True,
+        jobs: int = 1,
     ):
         self.configs = list(configs)
         self.tests = list(tests) if tests is not None else list(TESTCASES)
@@ -198,6 +209,9 @@ class RegressionRunner:
         self.compare_waveforms = compare_waveforms and workdir is not None
         self.bca_bugs = bca_bugs
         self.with_arbitration_checker = with_arbitration_checker
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
         if workdir:
             os.makedirs(workdir, exist_ok=True)
 
@@ -211,70 +225,144 @@ class RegressionRunner:
             self.workdir, f"{config.name}__{test}__s{seed}__{view}.vcd"
         )
 
-    # -- execution --------------------------------------------------------------
-
-    def _write_run_reports(self, config: NodeConfig, test_name: str,
-                           seed: int, result: RunResult) -> None:
-        """Per-(test, seed) artifacts: "a verification report and a
-        functional coverage one are generated" (Section 4)."""
+    def _report_stem(self, config: NodeConfig, test: str, seed: int,
+                     view: str) -> Optional[str]:
         if not self.workdir:
-            return
-        stem = os.path.join(
-            self.workdir,
-            f"{config.name}__{test_name}__s{seed}__{result.view}",
+            return None
+        return os.path.join(
+            self.workdir, f"{config.name}__{test}__s{seed}__{view}"
         )
-        with open(stem + ".report.txt", "w", encoding="utf-8") as handle:
-            handle.write(result.report.render())
-        with open(stem + ".coverage.txt", "w", encoding="utf-8") as handle:
-            handle.write(result.coverage.render())
+
+    # -- execution --------------------------------------------------------------
+    #
+    # The batch is a flat list of independent (config, test, seed, view)
+    # run jobs plus one optional comparison per (config, test, seed).
+    # Serial and parallel modes execute the *same* jobs through the same
+    # worker function (repro.regression.parallel.execute_run_job); only
+    # the scheduling differs.  Assembly back into ConfigReports is a
+    # single deterministic code path, so the report text, the coverage
+    # merge order and every artifact are byte-identical for any ``jobs``.
+
+    def _make_job(self, config: NodeConfig, test_name: str, seed: int,
+                  view: str) -> "RunJob":
+        from .parallel import RunJob
+
+        return RunJob(
+            config=config,
+            test_name=test_name,
+            seed=seed,
+            view=view,
+            vcd_path=self._vcd_path(config, test_name, seed, view),
+            report_stem=self._report_stem(config, test_name, seed, view),
+            bugs=frozenset(self.bca_bugs),
+            with_arbitration_checker=self.with_arbitration_checker,
+        )
+
+    def _entry_keys(self) -> List[Tuple[int, str, int]]:
+        """Every (config index, test, seed) in deterministic batch order."""
+        return [
+            (ci, test_name, seed)
+            for ci in range(len(self.configs))
+            for test_name in self.tests
+            for seed in self.seeds
+        ]
+
+    def _execute_serial(self):
+        from .parallel import execute_run_job
+
+        results = {}
+        alignments = {}
+        for ci, test_name, seed in self._entry_keys():
+            config = self.configs[ci]
+            for view in ("rtl", "bca"):
+                job = self._make_job(config, test_name, seed, view)
+                results[(ci, test_name, seed, view)] = execute_run_job(job)
+            rtl_vcd = self._vcd_path(config, test_name, seed, "rtl")
+            bca_vcd = self._vcd_path(config, test_name, seed, "bca")
+            if self.compare_waveforms and rtl_vcd and bca_vcd:
+                # "It can later proceed to alignment comparison activity,
+                # if all checkers passed" — compare unconditionally here
+                # so the benches can also report rates for failing
+                # (buggy) runs.
+                alignments[(ci, test_name, seed)] = \
+                    compare_vcds(rtl_vcd, bca_vcd)
+        return results, alignments
+
+    def _execute_parallel(self):
+        from .parallel import execute_batch
+
+        entry_keys = self._entry_keys()
+        jobs_by_key = {
+            (ci, test_name, seed, view):
+                self._make_job(self.configs[ci], test_name, seed, view)
+            for ci, test_name, seed in entry_keys
+            for view in ("rtl", "bca")
+        }
+        return execute_batch(
+            jobs_by_key,
+            jobs=self.jobs, compare_waveforms=self.compare_waveforms,
+        )
+
+    def _assemble(self, results, alignments) -> RegressionReport:
+        report = RegressionReport()
+        for ci, config in enumerate(self.configs):
+            config_report = ConfigReport(config)
+            config_report.rtl_coverage = build_node_coverage(config)
+            config_report.bca_coverage = build_node_coverage(config)
+            for test_name in self.tests:
+                for seed in self.seeds:
+                    entry = TestEntry(
+                        config.name, test_name, seed,
+                        results[(ci, test_name, seed, "rtl")],
+                        results[(ci, test_name, seed, "bca")],
+                        alignment=alignments.get((ci, test_name, seed)),
+                    )
+                    config_report.entries.append(entry)
+                    config_report.rtl_coverage.merge(entry.rtl.coverage)
+                    config_report.bca_coverage.merge(entry.bca.coverage)
+            if self.workdir:
+                path = os.path.join(
+                    self.workdir, f"{config.name}__report.txt"
+                )
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(config_report.render())
+                    handle.write("\n")
+                    handle.write(config_report.rtl_coverage.render())
+            report.configs.append(config_report)
+        return report
 
     def run_one(self, config: NodeConfig, test_name: str,
                 seed: int) -> TestEntry:
         """One (config, test, seed) on both views + alignment."""
-        test = build_test(test_name, config, seed)
+        from .parallel import execute_run_job
+
+        rtl = execute_run_job(self._make_job(config, test_name, seed, "rtl"))
+        bca = execute_run_job(self._make_job(config, test_name, seed, "bca"))
+        entry = TestEntry(config.name, test_name, seed, rtl, bca)
         rtl_vcd = self._vcd_path(config, test_name, seed, "rtl")
         bca_vcd = self._vcd_path(config, test_name, seed, "bca")
-        rtl = run_test(config, test, view="rtl", vcd_path=rtl_vcd,
-                       with_arbitration_checker=self.with_arbitration_checker)
-        # Rebuild the test so both views get identical programs (the
-        # factories are deterministic in (config, seed)).
-        test = build_test(test_name, config, seed)
-        bca = run_test(config, test, view="bca", bugs=self.bca_bugs,
-                       vcd_path=bca_vcd,
-                       with_arbitration_checker=self.with_arbitration_checker)
-        self._write_run_reports(config, test_name, seed, rtl)
-        self._write_run_reports(config, test_name, seed, bca)
-        entry = TestEntry(config.name, test_name, seed, rtl, bca)
         if self.compare_waveforms and rtl_vcd and bca_vcd:
-            # "It can later proceed to alignment comparison activity, if
-            # all checkers passed" — compare unconditionally here so the
-            # benches can also report rates for failing (buggy) runs.
             entry.alignment = compare_vcds(rtl_vcd, bca_vcd)
         return entry
 
     def run_config(self, config: NodeConfig) -> ConfigReport:
-        report = ConfigReport(config)
-        report.rtl_coverage = build_node_coverage(config)
-        report.bca_coverage = build_node_coverage(config)
-        for test_name in self.tests:
-            for seed in self.seeds:
-                entry = self.run_one(config, test_name, seed)
-                report.entries.append(entry)
-                report.rtl_coverage.merge(entry.rtl.coverage)
-                report.bca_coverage.merge(entry.bca.coverage)
-        if self.workdir:
-            path = os.path.join(self.workdir, f"{config.name}__report.txt")
-            with open(path, "w", encoding="utf-8") as handle:
-                handle.write(report.render())
-                handle.write("\n")
-                handle.write(report.rtl_coverage.render())
-        return report
+        """Serial single-configuration run (legacy convenience)."""
+        sub = RegressionRunner(
+            [config], tests=self.tests, seeds=self.seeds,
+            workdir=self.workdir, compare_waveforms=self.compare_waveforms,
+            bca_bugs=self.bca_bugs,
+            with_arbitration_checker=self.with_arbitration_checker,
+            jobs=self.jobs,
+        )
+        return sub.run().configs[0]
 
     def run(self) -> RegressionReport:
         started = time.perf_counter()
-        report = RegressionReport()
-        for config in self.configs:
-            report.configs.append(self.run_config(config))
+        if self.jobs > 1:
+            results, alignments = self._execute_parallel()
+        else:
+            results, alignments = self._execute_serial()
+        report = self._assemble(results, alignments)
         report.wall_seconds = time.perf_counter() - started
         if self.workdir:
             path = os.path.join(self.workdir, "regression_summary.txt")

@@ -13,10 +13,13 @@ sections so third-party viewers show the same hierarchy the testbench has.
 from __future__ import annotations
 
 import io
-from typing import Dict, List, Optional, Sequence, TextIO, Union
+from typing import Dict, List, Optional, Sequence, Set, TextIO, Union
 
 from ..kernel.signal import Signal
 from ..kernel.simulator import Tracer
+
+#: Flush the output buffer once it holds this many characters.
+_FLUSH_CHARS = 1 << 16
 
 #: VCD identifier alphabet (printable ASCII, per the standard).
 _ID_FIRST = 33  # '!'
@@ -83,9 +86,14 @@ class VcdWriter(Tracer):
         )
         self.timescale_ns = timescale_ns
         self._signals: List[Signal] = []
+        self._order: Dict[Signal, int] = {}
         self._last: Dict[str, int] = {}
         self._header_written = False
         self._finished = False
+        # Value-change lines are batched here and written in one
+        # ``str.join`` per ~64 KiB instead of one stream write per line.
+        self._buf: List[str] = []
+        self._buf_chars = 0
 
     # -- Tracer interface -------------------------------------------------
 
@@ -93,22 +101,29 @@ class VcdWriter(Tracer):
         if self._header_written:
             raise RuntimeError("cannot declare signals after the first sample")
         signal.vcd_id = make_identifier(len(self._signals))
+        self._order[signal] = len(self._signals)
         self._signals.append(signal)
 
     def sample(self, cycle: int, signals: Sequence[Signal]) -> None:
-        if not self._header_written:
-            self._write_header()
-        out = self._out
-        changes: List[str] = []
-        for sig in self._signals:
-            value = sig.value
-            if self._last.get(sig.vcd_id) != value:
-                self._last[sig.vcd_id] = value
-                changes.append(_format_value(value, sig.width, sig.vcd_id))
-        if changes or cycle == 0:
-            out.write(f"#{cycle * self.timescale_ns}\n")
-            for line in changes:
-                out.write(line + "\n")
+        self._sample_from(cycle, self._signals)
+
+    def sample_changes(
+        self,
+        cycle: int,
+        signals: Sequence[Signal],
+        changed: Set[Signal],
+    ) -> None:
+        """Fast-path sample: only signals that committed a change this
+        cycle are inspected.  Emission stays in declaration order, so the
+        bytes are identical to a full :meth:`sample` scan."""
+        if len(changed) == len(self._signals):
+            self._sample_from(cycle, self._signals)
+            return
+        order = self._order
+        subset = sorted(
+            (sig for sig in changed if sig in order), key=order.__getitem__
+        )
+        self._sample_from(cycle, subset)
 
     def finish(self, cycle: int) -> None:
         if self._finished:
@@ -116,7 +131,8 @@ class VcdWriter(Tracer):
         self._finished = True
         if not self._header_written:
             self._write_header()
-        self._out.write(f"#{cycle * self.timescale_ns}\n")
+        self._w(f"#{cycle * self.timescale_ns}\n")
+        self._flush()
         if self._own_stream:
             self._out.close()
         else:
@@ -124,12 +140,39 @@ class VcdWriter(Tracer):
 
     # -- internals ---------------------------------------------------------
 
+    def _sample_from(self, cycle: int, candidates: Sequence[Signal]) -> None:
+        if not self._header_written:
+            self._write_header()
+        changes: List[str] = []
+        last = self._last
+        for sig in candidates:
+            value = sig.value
+            if last.get(sig.vcd_id) != value:
+                last[sig.vcd_id] = value
+                changes.append(_format_value(value, sig.width, sig.vcd_id))
+        if changes or cycle == 0:
+            self._w(f"#{cycle * self.timescale_ns}\n")
+            for line in changes:
+                self._w(line + "\n")
+
+    def _w(self, text: str) -> None:
+        self._buf.append(text)
+        self._buf_chars += len(text)
+        if self._buf_chars >= _FLUSH_CHARS:
+            self._flush()
+
+    def _flush(self) -> None:
+        if self._buf:
+            self._out.write("".join(self._buf))
+            self._buf.clear()
+            self._buf_chars = 0
+
     def _write_header(self) -> None:
         self._header_written = True
-        out = self._out
-        out.write("$date\n  repro common verification environment\n$end\n")
-        out.write("$version\n  repro.vcd 1.0\n$end\n")
-        out.write(f"$timescale {self.timescale_ns}ns $end\n")
+        w = self._w
+        w("$date\n  repro common verification environment\n$end\n")
+        w("$version\n  repro.vcd 1.0\n$end\n")
+        w(f"$timescale {self.timescale_ns}ns $end\n")
         root = _ScopeNode()
         for sig in self._signals:
             parts = sig.name.split(".")
@@ -137,13 +180,15 @@ class VcdWriter(Tracer):
             for part in parts[:-1]:
                 node = node.children.setdefault(part, _ScopeNode())
             node.vars.append((parts[-1], sig.width, sig.vcd_id))
-        root.emit(out)
-        out.write("$enddefinitions $end\n")
-        out.write("$dumpvars\n")
+        header = io.StringIO()
+        root.emit(header)
+        w(header.getvalue())
+        w("$enddefinitions $end\n")
+        w("$dumpvars\n")
         for sig in self._signals:
             self._last[sig.vcd_id] = sig.value
-            out.write(_format_value(sig.value, sig.width, sig.vcd_id) + "\n")
-        out.write("$end\n")
+            w(_format_value(sig.value, sig.width, sig.vcd_id) + "\n")
+        w("$end\n")
 
 
 def dump_to_string(sample_rows: Sequence[Dict[str, int]], widths: Dict[str, int]) -> str:
@@ -160,9 +205,7 @@ def dump_to_string(sample_rows: Sequence[Dict[str, int]], widths: Dict[str, int]
     for cycle, row in enumerate(sample_rows):
         for sig in signals:
             if sig.name in row:
-                sig._next = row[sig.name]
-                sig._pending = True
-                sig._commit()
+                sig.poke(row[sig.name])
         writer.sample(cycle, signals)
     writer.finish(len(sample_rows))
     return buf.getvalue()

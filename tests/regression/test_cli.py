@@ -99,3 +99,33 @@ def test_regression_cli_flags_buggy_bca(tmp_path, capsys):
 
 def test_regression_cli_missing_dir(tmp_path, capsys):
     assert regression_main([str(tmp_path / "ghost")]) == 2
+
+
+def test_regression_cli_parallel_smoke(tmp_path, capsys):
+    """A 2-config regression under --jobs 2 works inside pytest (no
+    daemon/multiprocessing clash) and prints timing on stderr only."""
+    cfgs = [
+        NodeConfig(n_initiators=2, n_targets=2, name="clipar_a"),
+        NodeConfig(n_initiators=2, n_targets=1, name="clipar_b"),
+    ]
+    save_config_dir(cfgs, str(tmp_path / "cfgs"))
+    code = regression_main([
+        str(tmp_path / "cfgs"),
+        "--workdir", str(tmp_path / "out"),
+        "--seeds", "1", "2",
+        "--jobs", "2",
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "SIGNED OFF" in captured.out
+    assert "jobs=2" in captured.err
+    assert "jobs=2" not in captured.out
+    assert os.path.exists(tmp_path / "out" / "regression_summary.txt")
+
+
+def test_regression_cli_rejects_negative_jobs(tmp_path, capsys):
+    cfg = NodeConfig(n_initiators=1, n_targets=1, name="clineg")
+    save_config_dir([cfg], str(tmp_path / "cfgs"))
+    code = regression_main([str(tmp_path / "cfgs"), "--jobs", "-1"])
+    assert code == 2
+    assert "--jobs" in capsys.readouterr().err
