@@ -59,6 +59,14 @@ def make_pin_tb(node_cls):
     return sim, bfms
 
 
+#: kernel counter totals of the last pin-level run per view, keyed
+#: "rtl" / "bca_pin"; persisted in the JSON alongside the rates so the
+#: recorded cycles/s always come with the work they measured.
+_KERNEL_TOTALS = {}
+
+_VIEW_LABEL = {"RtlNode": "rtl", "BcaNode": "bca_pin"}
+
+
 def run_pin(node_cls):
     sim, bfms = make_pin_tb(node_cls)
     cycles = 0
@@ -67,6 +75,7 @@ def run_pin(node_cls):
         cycles += 1
     for _ in range(50):
         sim.step()
+    _KERNEL_TOTALS[_VIEW_LABEL[node_cls.__name__]] = sim.stats_snapshot()
     return cycles
 
 
@@ -212,6 +221,10 @@ def test_e5_record_results_json():
         "results": {
             key: (round(value, 1) if isinstance(value, float) else value)
             for key, value in sorted(_RESULTS.items())
+        },
+        "kernel_totals": {
+            view: dict(stats)
+            for view, stats in sorted(_KERNEL_TOTALS.items())
         },
     }
     path = Path(__file__).with_name("BENCH_sim_speed.json")

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..telemetry import ALIGNMENT_BUCKETS, NULL_TELEMETRY, Telemetry
 from ..vcd import VcdFile, parse_vcd
 from .extract import PORT_SIGNALS, ExtractionError, discover_ports
 
@@ -98,6 +99,7 @@ def compare_vcds(
     a: Union[str, VcdFile],
     b: Union[str, VcdFile],
     scopes: Optional[Sequence[str]] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> AlignmentReport:
     """Compare two dumps port by port, cycle by cycle.
 
@@ -105,9 +107,14 @@ def compare_vcds(
     and the BCA run of the same test and seed).  Ports present in either
     dump but not both raise :class:`ExtractionError` — that means the two
     testbenches were *not* identical, which the flow forbids.
+
+    ``telemetry`` optionally records parse/align spans and a per-port
+    alignment-rate histogram; ``None`` costs nothing.
     """
-    vcd_a = parse_vcd(a) if isinstance(a, str) else a
-    vcd_b = parse_vcd(b) if isinstance(b, str) else b
+    tele = telemetry if telemetry is not None else NULL_TELEMETRY
+    with tele.span("analyzer.parse"):
+        vcd_a = parse_vcd(a) if isinstance(a, str) else a
+        vcd_b = parse_vcd(b) if isinstance(b, str) else b
     ports_a = set(discover_ports(vcd_a))
     ports_b = set(discover_ports(vcd_b))
     if scopes is None:
@@ -118,29 +125,36 @@ def compare_vcds(
         scopes = sorted(ports_a)
     total = min(vcd_a.n_cycles, vcd_b.n_cycles)
     report_ports: Dict[str, PortAlignment] = {}
-    for scope in scopes:
-        aligned = 0
-        first_divergence: Optional[int] = None
-        mismatches: Dict[str, int] = {}
-        series_a = {}
-        series_b = {}
-        for leaf in PORT_SIGNALS:
-            name = f"{scope}.{leaf}"
-            if name not in vcd_a or name not in vcd_b:
-                raise ExtractionError(f"signal {name!r} missing from a dump")
-            series_a[leaf] = vcd_a[name].expand(total, vcd_a.timescale)
-            series_b[leaf] = vcd_b[name].expand(total, vcd_b.timescale)
-        for cycle in range(total):
-            ok = True
+    with tele.span("analyzer.align", ports=len(scopes), cycles=total):
+        for scope in scopes:
+            aligned = 0
+            first_divergence: Optional[int] = None
+            mismatches: Dict[str, int] = {}
+            series_a = {}
+            series_b = {}
             for leaf in PORT_SIGNALS:
-                if series_a[leaf][cycle] != series_b[leaf][cycle]:
-                    ok = False
-                    mismatches[leaf] = mismatches.get(leaf, 0) + 1
-            if ok:
-                aligned += 1
-            elif first_divergence is None:
-                first_divergence = cycle
-        report_ports[scope] = PortAlignment(
-            scope, total, aligned, first_divergence, mismatches
-        )
+                name = f"{scope}.{leaf}"
+                if name not in vcd_a or name not in vcd_b:
+                    raise ExtractionError(
+                        f"signal {name!r} missing from a dump")
+                series_a[leaf] = vcd_a[name].expand(total, vcd_a.timescale)
+                series_b[leaf] = vcd_b[name].expand(total, vcd_b.timescale)
+            for cycle in range(total):
+                ok = True
+                for leaf in PORT_SIGNALS:
+                    if series_a[leaf][cycle] != series_b[leaf][cycle]:
+                        ok = False
+                        mismatches[leaf] = mismatches.get(leaf, 0) + 1
+                if ok:
+                    aligned += 1
+                elif first_divergence is None:
+                    first_divergence = cycle
+            report_ports[scope] = PortAlignment(
+                scope, total, aligned, first_divergence, mismatches
+            )
+    if tele.enabled:
+        hist = tele.registry.histogram(
+            "analyzer.port_alignment_rate", buckets=ALIGNMENT_BUCKETS)
+        for port in report_ports.values():
+            hist.observe(port.rate)
     return AlignmentReport(report_ports, total)

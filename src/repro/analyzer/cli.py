@@ -46,7 +46,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--wave", action="store_true",
         help="render a text waveform around each port's first divergence",
     )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write parse/align timings and the per-port alignment-rate "
+             "histogram as JSON (side-channel; stdout is unchanged)",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write a Chrome/Perfetto trace of the comparison",
+    )
     return parser
+
+
+def _export_telemetry(args, telemetry) -> None:
+    """Write the analyzer's side-channel metrics/trace files."""
+    import json
+
+    from ..telemetry import assign_lanes, span_seconds, write_chrome_trace
+
+    if args.metrics_out:
+        payload = {
+            "schema": "repro.telemetry/analyzer-metrics/v1",
+            "span_seconds": {
+                name: round(seconds, 6)
+                for name, seconds in sorted(
+                    span_seconds(telemetry.trace.events).items())
+            },
+        }
+        payload.update(telemetry.registry.snapshot())
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+            handle.write("\n")
+    if args.trace_out:
+        events = telemetry.trace.events
+        write_chrome_trace(
+            args.trace_out, events,
+            lanes=assign_lanes(events, main_pid=telemetry.trace.pid),
+            process_name="repro analyzer",
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -54,11 +91,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not 0.0 < args.threshold <= 1.0:
         print("error: threshold must be in (0, 1]", file=sys.stderr)
         return 2
+    telemetry = None
+    if args.metrics_out or args.trace_out:
+        from ..telemetry import MetricRegistry, Telemetry, TraceCollector
+
+        telemetry = Telemetry(registry=MetricRegistry(),
+                              trace=TraceCollector())
     try:
-        report = compare_vcds(args.rtl_vcd, args.bca_vcd, scopes=args.ports)
+        report = compare_vcds(args.rtl_vcd, args.bca_vcd, scopes=args.ports,
+                              telemetry=telemetry)
     except (ExtractionError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if telemetry is not None:
+        _export_telemetry(args, telemetry)
     print(report.render(), end="")
     if args.diff:
         diff = diff_transactions(args.rtl_vcd, args.bca_vcd,

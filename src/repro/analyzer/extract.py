@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..stbus import Cell, RespCell
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from ..vcd import VcdFile
 
 #: Signals that make up a Type II/III port scope in the VCD.
@@ -135,11 +136,19 @@ def extract_port(vcd: VcdFile, scope: str) -> PortTraffic:
     return PortTraffic(scope, requests, responses, n)
 
 
-def extract_all(vcd: VcdFile, scopes: Optional[Sequence[str]] = None
+def extract_all(vcd: VcdFile, scopes: Optional[Sequence[str]] = None,
+                telemetry: Optional["Telemetry"] = None,
                 ) -> Dict[str, PortTraffic]:
-    """Extract every (or the given) port of a dump."""
+    """Extract every (or the given) port of a dump.
+
+    ``telemetry`` optionally records one ``analyzer.extract`` span
+    covering the replay; ``None`` costs nothing.
+    """
+    tele = telemetry if telemetry is not None else NULL_TELEMETRY
     if scopes is None:
         scopes = discover_ports(vcd)
     if not scopes:
         raise ExtractionError("no STBus port scopes found in VCD")
-    return {scope: extract_port(vcd, scope) for scope in scopes}
+    with tele.span("analyzer.extract", ports=len(scopes),
+                   cycles=vcd.n_cycles):
+        return {scope: extract_port(vcd, scope) for scope in scopes}

@@ -23,6 +23,7 @@ from ..bca.node import BcaNode
 from ..kernel import Module, Simulator
 from ..rtl.node import RtlNode
 from ..stbus import NodeConfig, StbusPort, T1_WRITE, Type1Port
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from ..vcd import VcdWriter
 from .bfm import InitiatorBfm
 from .checker import ProtocolChecker, Type1Checker
@@ -55,6 +56,15 @@ class RunResult:
     coverage: CoverageModel
     dut_stats: Dict[str, int] = field(default_factory=dict)
     vcd_path: Optional[str] = None
+    #: Kernel activity counters (cycles, delta iterations, process
+    #: activations, signal commits/toggles, VCD bytes) — always recorded.
+    kernel_stats: Dict[str, int] = field(default_factory=dict)
+    #: ``{process name: [activations, seconds]}`` when the run was
+    #: executed with per-process timing enabled.
+    process_seconds: Dict[str, List[float]] = field(default_factory=dict)
+    #: Per-run telemetry payload (set by the regression engine when the
+    #: batch runs with telemetry; picklable, excluded from all reports).
+    telemetry: Optional[object] = None
 
     @property
     def coverage_percent(self) -> float:
@@ -83,6 +93,13 @@ class VerificationEnv:
         Seeded BCA bugs to enable (BCA view only).
     vcd_path:
         If set, dump a VCD of the whole testbench for the bus analyzer.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` bundle; phase spans
+        (elaborate/run/finalize) and kernel counters are recorded into
+        it.  ``None`` (the default) costs nothing.
+    time_processes:
+        Opt in to per-process cumulative wall-time accounting in the
+        kernel (reported via ``RunResult.process_seconds``).
     """
 
     def __init__(
@@ -92,6 +109,8 @@ class VerificationEnv:
         bugs=(),
         vcd_path: Optional[str] = None,
         with_arbitration_checker: bool = True,
+        telemetry: Optional[Telemetry] = None,
+        time_processes: bool = False,
     ):
         if view not in VIEWS:
             raise ValueError(f"view must be one of {VIEWS}")
@@ -100,7 +119,10 @@ class VerificationEnv:
         self.config = config
         self.view = view
         self.vcd_path = vcd_path
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.sim = Simulator()
+        if time_processes:
+            self.sim.enable_process_timing()
         self.top = Module(self.sim, "tb")
         self.report = VerificationReport(name=f"{config.name}/{view}")
         if vcd_path:
@@ -258,28 +280,40 @@ class VerificationEnv:
         if self._test is None:
             raise RuntimeError("load_test() before run()")
         test = self._test
+        tele = self.telemetry
+        ctx = {"config": self.config.name, "view": self.view,
+               "test": test.name, "seed": test.seed}
         started = time.perf_counter()
-        self.sim.elaborate()
+        with tele.span("elaborate", **ctx):
+            self.sim.elaborate()
         timed_out = False
         executed = 0
-        while executed < test.max_cycles:
-            self.sim.step()
-            executed += 1
-            if self._drained():
-                break
-        else:
-            timed_out = True
-            self.report.error(
-                "TIMEOUT", "env", self.sim.now,
-                f"test did not drain within {test.max_cycles} cycles",
-            )
-        for _ in range(test.drain_cycles):
-            self.sim.step()
-        for checker in self.checkers:
-            checker.finalize()
-        self.scoreboard.finalize(self.sim.now)
-        self.sim.finish()
+        with tele.span("run", **ctx):
+            while executed < test.max_cycles:
+                self.sim.step()
+                executed += 1
+                if self._drained():
+                    break
+            else:
+                timed_out = True
+                self.report.error(
+                    "TIMEOUT", "env", self.sim.now,
+                    f"test did not drain within {test.max_cycles} cycles",
+                )
+                tele.log.log("run.timeout", max_cycles=test.max_cycles)
+            for _ in range(test.drain_cycles):
+                self.sim.step()
+        with tele.span("finalize", **ctx):
+            for checker in self.checkers:
+                checker.finalize()
+            self.scoreboard.finalize(self.sim.now)
+            self.sim.finish()
         wall = time.perf_counter() - started
+        kernel_stats = self.sim.stats_snapshot()
+        if self._writer is not None:
+            kernel_stats["vcd_bytes"] = self._writer.bytes_written
+        if tele.enabled:
+            tele.registry.inc_many(kernel_stats.items(), prefix="kernel.")
         return RunResult(
             config_name=self.config.name,
             view=self.view,
@@ -293,6 +327,11 @@ class VerificationEnv:
             coverage=self.coverage.model,
             dut_stats=dict(self.dut.stats),
             vcd_path=self.vcd_path,
+            kernel_stats=kernel_stats,
+            process_seconds={
+                name: [calls, seconds]
+                for name, (calls, seconds) in self.sim.process_times().items()
+            },
         )
 
 
@@ -303,11 +342,14 @@ def run_test(
     bugs=(),
     vcd_path: Optional[str] = None,
     with_arbitration_checker: bool = True,
+    telemetry: Optional[Telemetry] = None,
+    time_processes: bool = False,
 ) -> RunResult:
     """Convenience wrapper: build an environment, run one test."""
     env = VerificationEnv(
         config, view=view, bugs=bugs, vcd_path=vcd_path,
         with_arbitration_checker=with_arbitration_checker,
+        telemetry=telemetry, time_processes=time_processes,
     )
     env.load_test(test)
     return env.run()

@@ -37,6 +37,7 @@ before a single cycle is simulated.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import (
     Callable,
     Dict,
@@ -177,6 +178,17 @@ class Simulator:
         self._write_hook: Optional[Callable[[Signal, int], None]] = None
         self._track_info: Optional[ProcessInfo] = None
         self._harvest = False
+        # Kernel activity counters, always on: each is bumped O(1) per
+        # delta iteration or per cycle (never per signal access), so the
+        # post-elaboration fast path keeps its cost.  Reset at the end of
+        # elaborate() so they count simulated activity only.
+        self.stat_deltas = 0  #: delta-loop iterations across all cycles
+        self.stat_activations = 0  #: process invocations (clocked + comb)
+        self.stat_commits = 0  #: scheduled writes committed
+        self.stat_toggles = 0  #: commits that changed a signal's value
+        # Opt-in per-process cumulative wall time: None (off, default) or
+        # {process name: [activations, seconds]}.
+        self._proc_times: Optional[Dict[str, List[float]]] = None
 
     # -- construction --------------------------------------------------------
 
@@ -275,6 +287,42 @@ class Simulator:
             return _default_label(process)  # not registered here
         return label
 
+    def enable_process_timing(self) -> None:
+        """Opt in to per-process cumulative wall-time accounting.
+
+        Each process activation is then bracketed by two
+        ``perf_counter`` calls — cheap, but not free on the hottest
+        loop, hence opt-in.  Idempotent; may be called before or after
+        :meth:`elaborate`.
+        """
+        if self._proc_times is None:
+            self._proc_times = {}
+
+    def process_times(self) -> Dict[str, Tuple[int, float]]:
+        """``{process name: (activations, cumulative seconds)}`` recorded
+        since :meth:`enable_process_timing`; empty when timing is off."""
+        if self._proc_times is None:
+            return {}
+        return {
+            name: (int(cell[0]), cell[1])
+            for name, cell in self._proc_times.items()
+        }
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        """The kernel activity counters as a plain dict.
+
+        ``cycles`` is the number of completed clock cycles; the other
+        counters accumulate from the end of :meth:`elaborate` (the
+        elaboration dry run is excluded).
+        """
+        return {
+            "cycles": self.now,
+            "delta_iterations": self.stat_deltas,
+            "process_activations": self.stat_activations,
+            "signal_commits": self.stat_commits,
+            "signal_toggles": self.stat_toggles,
+        }
+
     # -- kernel internals ------------------------------------------------------
 
     def _schedule_commit(self, sig: Signal) -> None:
@@ -292,6 +340,8 @@ class Simulator:
             if sig._next != sig._value:
                 sig._value = sig._next
                 append(sig)
+        self.stat_commits += len(queue)
+        self.stat_toggles += len(changed)
         if self._track_changes and changed:
             self._cycle_changed.update(changed)
         return changed
@@ -316,6 +366,7 @@ class Simulator:
         changed = self._commit_all()
         deltas = 0
         tracking = self._read_hook is not None
+        times = self._proc_times
         while changed:
             deltas += 1
             if deltas > MAX_DELTAS:
@@ -331,6 +382,7 @@ class Simulator:
                     if idx not in seen:
                         seen.add(idx)
                         woken.append(idx)
+            self.stat_activations += len(woken)
             for idx in woken:
                 proc = self._comb[idx]
                 self.active_process = proc
@@ -339,9 +391,19 @@ class Simulator:
                     if self._harvest:
                         self._run_harvested(self.comb_processes[idx])
                         continue
-                proc()
+                if times is None:
+                    proc()
+                else:
+                    start = perf_counter()
+                    proc()
+                    cell = times.get(self.comb_processes[idx].name)
+                    if cell is None:
+                        times[self.comb_processes[idx].name] = cell = [0, 0.0]
+                    cell[0] += 1
+                    cell[1] += perf_counter() - start
             self.active_process = None
             changed = self._commit_all()
+        self.stat_deltas += deltas
 
     # -- dry-run attribution hooks ---------------------------------------------
 
@@ -412,6 +474,14 @@ class Simulator:
         for sig in self.signals:
             sig._enable_fast_path()
         self._track_changes = bool(self._tracers)
+        # Activity counters start at zero simulated work: the dry-run
+        # settle above would otherwise leak into the first cycle's stats.
+        self.stat_deltas = 0
+        self.stat_activations = 0
+        self.stat_commits = 0
+        self.stat_toggles = 0
+        if self._proc_times is not None:
+            self._proc_times.clear()
 
     def step(self) -> None:
         """Advance one clock cycle: posedge, commit, settle, sample."""
@@ -419,10 +489,23 @@ class Simulator:
             raise ElaborationError("call elaborate() before step()")
         if self._finished:
             raise SimulatorError("simulation already finished")
-        for proc in self._clocked:
-            self.active_process = proc
-            proc()
+        times = self._proc_times
+        if times is None:
+            for proc in self._clocked:
+                self.active_process = proc
+                proc()
+        else:
+            for info in self.clocked_processes:
+                self.active_process = info.process
+                start = perf_counter()
+                info.process()
+                cell = times.get(info.name)
+                if cell is None:
+                    times[info.name] = cell = [0, 0.0]
+                cell[0] += 1
+                cell[1] += perf_counter() - start
         self.active_process = None
+        self.stat_activations += len(self._clocked)
         self._settle()
         if self._tracers:
             changed = self._cycle_changed

@@ -20,6 +20,7 @@ from typing import List, Optional
 
 from ..bca import ALL_BUGS
 from ..stbus import ConfigError
+from ..telemetry import RunLogger, TelemetryConfig
 from .configs import load_config_dir
 from .runner import RegressionRunner
 from .testcases import TESTCASES
@@ -59,6 +60,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--lint-waivers", metavar="FILE", default=None,
                         help="waiver file for the lint gate (see "
                              "python -m repro.lint --help)")
+    telemetry = parser.add_argument_group(
+        "telemetry",
+        "Side-channel observability files; none of them changes a "
+        "report artifact or a byte on stdout.",
+    )
+    telemetry.add_argument("--metrics-out", metavar="FILE", default=None,
+                           help="write the per-batch metrics rollup (JSON; "
+                                "digest it with python -m repro.telemetry "
+                                "summarize FILE)")
+    telemetry.add_argument("--trace-out", metavar="FILE", default=None,
+                           help="write a Chrome/Perfetto trace of the batch "
+                                "(one lane per worker process)")
+    telemetry.add_argument("--log-json", metavar="FILE", default=None,
+                           help="write a structured JSON-lines run log")
+    telemetry.add_argument("--time-processes", action="store_true",
+                           help="also record per-process kernel wall time "
+                                "(slower; implies nothing unless a "
+                                "telemetry output is set)")
     return parser
 
 
@@ -117,11 +136,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         compare_waveforms=not args.no_compare,
         bca_bugs=set(args.bugs),
         jobs=jobs,
+        telemetry=TelemetryConfig(
+            metrics_out=args.metrics_out,
+            trace_out=args.trace_out,
+            log_out=args.log_json,
+            time_processes=args.time_processes,
+        ),
     )
     report = runner.run()
     print(report.render(), end="")
-    # Timing goes to stderr so stdout (and the summary artifact) stay
-    # byte-identical between serial and parallel runs.
-    print(f"[{report.n_runs} runs in {report.wall_seconds:.1f}s, "
-          f"jobs={jobs}]", file=sys.stderr)
+    # Timing goes to stderr as a structured record so stdout (and the
+    # summary artifact) stay byte-identical between serial and parallel
+    # runs — and between instrumented and plain ones.
+    RunLogger(stream=sys.stderr).log(
+        "batch.complete",
+        n_runs=report.n_runs,
+        n_configs=len(configs),
+        wall_seconds=round(report.wall_seconds, 3),
+        jobs=jobs,
+        all_signed_off=report.all_signed_off,
+    )
     return 0 if report.all_signed_off else 1

@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..analyzer import SIGNOFF_THRESHOLD
 from ..stbus import NodeConfig
+from ..telemetry import TelemetryConfig
 from .runner import ConfigReport, RegressionRunner
 
 
@@ -69,6 +70,12 @@ class CommonVerificationFlow:
     ``fix_bca`` models the "low alignment rate → fix the BCA model" loop:
     it is called with the current bug set and returns the bug set of the
     next BCA drop (an empty set is the fixed model).
+
+    ``telemetry`` (an optional
+    :class:`~repro.telemetry.TelemetryConfig`) is threaded into every
+    regression the flow runs; since the flow may iterate several times,
+    each iteration's side-channel files are tagged ``iterN`` (e.g.
+    ``metrics.iter2.json``) so no iteration overwrites another.
     """
 
     def __init__(
@@ -81,6 +88,7 @@ class CommonVerificationFlow:
         max_iterations: int = 4,
         lint: bool = True,
         jobs: int = 1,
+        telemetry: Optional[TelemetryConfig] = None,
     ):
         self.config = config
         self.tests = tests
@@ -90,6 +98,10 @@ class CommonVerificationFlow:
         self.max_iterations = max_iterations
         self.lint = lint
         self.jobs = jobs
+        self.telemetry = (
+            telemetry if telemetry is not None else TelemetryConfig()
+        )
+        self._iteration = 0
         self.history: List[FlowEvent] = []
         self.state = FlowState.FUNCTIONAL_SPEC
 
@@ -143,10 +155,13 @@ class CommonVerificationFlow:
         return True
 
     def _run_regression(self) -> ConfigReport:
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry = telemetry.with_tag(f"iter{self._iteration}")
         runner = RegressionRunner(
             [self.config], tests=self.tests, seeds=self.seeds,
             workdir=self.workdir, bca_bugs=self.bca_bugs,
-            jobs=self.jobs,
+            jobs=self.jobs, telemetry=telemetry,
         )
         return runner.run().configs[0]
 
@@ -161,6 +176,7 @@ class CommonVerificationFlow:
             return FlowOutcome(False, 0, self.history, None)
         report: Optional[ConfigReport] = None
         for iteration in range(1, self.max_iterations + 1):
+            self._iteration = iteration
             self._enter(
                 FlowState.MODEL_VERIFICATION,
                 f"iteration {iteration}: same seeded suite on RTL and BCA "

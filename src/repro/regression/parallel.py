@@ -22,6 +22,7 @@ program locally instead of shipping it, exactly as the serial path does.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional, Tuple
@@ -29,6 +30,7 @@ from typing import Dict, FrozenSet, Optional, Tuple
 from ..analyzer import AlignmentReport, compare_vcds
 from ..catg.env import RunResult, run_test
 from ..stbus import NodeConfig
+from ..telemetry import RunRecorder, RunTelemetry
 from .testcases import build_test
 
 #: (config index, test name, seed) — one regression entry (both views).
@@ -49,6 +51,26 @@ class RunJob:
     report_stem: Optional[str]
     bugs: FrozenSet[str]
     with_arbitration_checker: bool
+    #: Record per-run telemetry (spans, kernel counters, structured log
+    #: records) and attach it to the returned RunResult.
+    telemetry: bool = False
+    #: Also enable kernel per-process wall-time accounting.
+    time_processes: bool = False
+    #: Wall-clock (epoch) submission time; queue wait = start - submit.
+    submitted_at: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class CompareJob:
+    """One bus-accurate comparison, fully described by picklable values."""
+
+    rtl_vcd: str
+    bca_vcd: str
+    config_name: str
+    test_name: str
+    seed: int
+    telemetry: bool = False
+    submitted_at: Optional[float] = None
 
 
 def write_run_reports(stem: str, result: RunResult) -> None:
@@ -63,17 +85,78 @@ def write_run_reports(stem: str, result: RunResult) -> None:
 def execute_run_job(job: RunJob) -> RunResult:
     """Run one (config, test, seed, view); artifact files land where the
     serial path puts them.  Runs in a worker process under ``jobs=N`` and
-    inline under ``jobs=1`` — identical code either way."""
-    test = build_test(job.test_name, job.config, job.seed)
+    inline under ``jobs=1`` — identical code either way.
+
+    With ``job.telemetry`` a :class:`~repro.telemetry.RunRecorder` built
+    in *this* process (a pool worker or the parent) records phase spans,
+    kernel counters and structured log records; the picklable payload
+    rides back on ``result.telemetry``.  Artifact bytes are identical
+    either way.
+    """
+    if not job.telemetry:
+        test = build_test(job.test_name, job.config, job.seed)
+        result = run_test(
+            job.config, test, view=job.view,
+            bugs=job.bugs if job.view == "bca" else (),
+            vcd_path=job.vcd_path,
+            with_arbitration_checker=job.with_arbitration_checker,
+        )
+        if job.report_stem:
+            write_run_reports(job.report_stem, result)
+        return result
+    recorder = RunRecorder(
+        {"config": job.config.name, "test": job.test_name,
+         "seed": job.seed, "view": job.view},
+        submitted_at=job.submitted_at,
+    )
+    ctx = recorder.context
+    with recorder.span("generate", **ctx):
+        test = build_test(job.test_name, job.config, job.seed)
     result = run_test(
         job.config, test, view=job.view,
         bugs=job.bugs if job.view == "bca" else (),
         vcd_path=job.vcd_path,
         with_arbitration_checker=job.with_arbitration_checker,
+        telemetry=recorder.telemetry,
+        time_processes=job.time_processes,
     )
     if job.report_stem:
-        write_run_reports(job.report_stem, result)
+        with recorder.span("report", **ctx):
+            write_run_reports(job.report_stem, result)
+    recorder.telemetry.log.log(
+        "run.complete",
+        passed=result.passed,
+        timed_out=result.timed_out,
+        cycles=result.cycles,
+        wall_seconds=round(result.wall_seconds, 6),
+        violations=len(result.report.violations),
+    )
+    result.telemetry = recorder.payload()
     return result
+
+
+def execute_compare_job(
+    job: CompareJob,
+) -> Tuple[AlignmentReport, Optional[RunTelemetry]]:
+    """Run one bus-accurate comparison, optionally recording telemetry."""
+    if not job.telemetry:
+        return compare_vcds(job.rtl_vcd, job.bca_vcd), None
+    recorder = RunRecorder(
+        {"config": job.config_name, "test": job.test_name,
+         "seed": job.seed, "view": "compare"},
+        submitted_at=job.submitted_at,
+    )
+    with recorder.span("compare", **recorder.context):
+        report = compare_vcds(
+            job.rtl_vcd, job.bca_vcd, telemetry=recorder.telemetry)
+    recorder.telemetry.log.log(
+        "compare.complete",
+        min_rate=round(report.min_rate, 6),
+        overall_rate=round(report.overall_rate, 6),
+        signed_off=report.signed_off,
+        cycles=report.total_cycles,
+    )
+    return report, recorder.payload()
 
 
 def execute_batch(
@@ -81,15 +164,24 @@ def execute_batch(
     *,
     jobs: int,
     compare_waveforms: bool,
-) -> Tuple[Dict[RunKey, RunResult], Dict[EntryKey, AlignmentReport]]:
+    telemetry: bool = False,
+) -> Tuple[
+    Dict[RunKey, RunResult],
+    Dict[EntryKey, AlignmentReport],
+    Dict[EntryKey, RunTelemetry],
+]:
     """Execute every run job over ``jobs`` worker processes.
 
     As soon as both views of an entry finish, its bus-accurate comparison
     is submitted to the same pool, so comparisons overlap with the
     remaining simulations instead of waiting behind a barrier.
+
+    Returns the run results, the alignment reports, and (when
+    ``telemetry``) the per-comparison telemetry payloads.
     """
     results: Dict[RunKey, RunResult] = {}
     alignments: Dict[EntryKey, AlignmentReport] = {}
+    compare_telemetry: Dict[EntryKey, RunTelemetry] = {}
     vcd_paths: Dict[RunKey, Optional[str]] = {
         key: job.vcd_path for key, job in jobs_by_key.items()
     }
@@ -113,12 +205,22 @@ def execute_batch(
                     rtl_vcd = vcd_paths[entry_key + ("rtl",)]
                     bca_vcd = vcd_paths[entry_key + ("bca",)]
                     if rtl_vcd and bca_vcd:
+                        compare_job = CompareJob(
+                            rtl_vcd=rtl_vcd, bca_vcd=bca_vcd,
+                            config_name=jobs_by_key[key].config.name,
+                            test_name=entry_key[1], seed=entry_key[2],
+                            telemetry=telemetry,
+                            submitted_at=time.time() if telemetry else None,
+                        )
                         future_compares[entry_key] = pool.submit(
-                            compare_vcds, rtl_vcd, bca_vcd
+                            execute_compare_job, compare_job
                         )
         for entry_key, future in future_compares.items():
-            alignments[entry_key] = future.result()
-    return results, alignments
+            report, payload = future.result()
+            alignments[entry_key] = report
+            if payload is not None:
+                compare_telemetry[entry_key] = payload
+    return results, alignments, compare_telemetry
 
 
 def default_jobs() -> int:

@@ -26,6 +26,7 @@ from ..analyzer import AlignmentReport, compare_vcds
 from ..catg.coverage import CoverageModel, build_node_coverage
 from ..catg.env import RunResult
 from ..stbus import NodeConfig
+from ..telemetry import BatchTelemetry, TelemetryConfig
 from .testcases import TESTCASES
 
 
@@ -186,6 +187,12 @@ class RegressionRunner:
         bus-accurate comparisons behind them — out over a process pool.
         The assembled report and every artifact are byte-identical
         either way.
+    telemetry:
+        Optional :class:`~repro.telemetry.TelemetryConfig`.  When any of
+        its outputs is set, every run records phase spans, kernel
+        counters and structured log records, and :meth:`run` exports the
+        metrics/trace/log side-channel files.  The report artifacts stay
+        byte-identical with or without telemetry.
     """
 
     def __init__(
@@ -198,6 +205,7 @@ class RegressionRunner:
         bca_bugs=(),
         with_arbitration_checker: bool = True,
         jobs: int = 1,
+        telemetry: Optional[TelemetryConfig] = None,
     ):
         self.configs = list(configs)
         self.tests = list(tests) if tests is not None else list(TESTCASES)
@@ -212,6 +220,9 @@ class RegressionRunner:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        self.telemetry = (
+            telemetry if telemetry is not None else TelemetryConfig()
+        )
         if workdir:
             os.makedirs(workdir, exist_ok=True)
 
@@ -247,6 +258,7 @@ class RegressionRunner:
                   view: str) -> "RunJob":
         from .parallel import RunJob
 
+        telemetry = self.telemetry.enabled
         return RunJob(
             config=config,
             test_name=test_name,
@@ -256,6 +268,9 @@ class RegressionRunner:
             report_stem=self._report_stem(config, test_name, seed, view),
             bugs=frozenset(self.bca_bugs),
             with_arbitration_checker=self.with_arbitration_checker,
+            telemetry=telemetry,
+            time_processes=telemetry and self.telemetry.time_processes,
+            submitted_at=time.time() if telemetry else None,
         )
 
     def _entry_keys(self) -> List[Tuple[int, str, int]]:
@@ -268,10 +283,12 @@ class RegressionRunner:
         ]
 
     def _execute_serial(self):
-        from .parallel import execute_run_job
+        from .parallel import CompareJob, execute_compare_job, execute_run_job
 
+        telemetry = self.telemetry.enabled
         results = {}
         alignments = {}
+        compare_telemetry = {}
         for ci, test_name, seed in self._entry_keys():
             config = self.configs[ci]
             for view in ("rtl", "bca"):
@@ -284,9 +301,16 @@ class RegressionRunner:
                 # if all checkers passed" — compare unconditionally here
                 # so the benches can also report rates for failing
                 # (buggy) runs.
-                alignments[(ci, test_name, seed)] = \
-                    compare_vcds(rtl_vcd, bca_vcd)
-        return results, alignments
+                report, payload = execute_compare_job(CompareJob(
+                    rtl_vcd=rtl_vcd, bca_vcd=bca_vcd,
+                    config_name=config.name, test_name=test_name, seed=seed,
+                    telemetry=telemetry,
+                    submitted_at=time.time() if telemetry else None,
+                ))
+                alignments[(ci, test_name, seed)] = report
+                if payload is not None:
+                    compare_telemetry[(ci, test_name, seed)] = payload
+        return results, alignments, compare_telemetry
 
     def _execute_parallel(self):
         from .parallel import execute_batch
@@ -301,6 +325,7 @@ class RegressionRunner:
         return execute_batch(
             jobs_by_key,
             jobs=self.jobs, compare_waveforms=self.compare_waveforms,
+            telemetry=self.telemetry.enabled,
         )
 
     def _assemble(self, results, alignments) -> RegressionReport:
@@ -352,20 +377,29 @@ class RegressionRunner:
             workdir=self.workdir, compare_waveforms=self.compare_waveforms,
             bca_bugs=self.bca_bugs,
             with_arbitration_checker=self.with_arbitration_checker,
-            jobs=self.jobs,
+            jobs=self.jobs, telemetry=self.telemetry,
         )
         return sub.run().configs[0]
 
     def run(self) -> RegressionReport:
-        started = time.perf_counter()
-        if self.jobs > 1:
-            results, alignments = self._execute_parallel()
-        else:
-            results, alignments = self._execute_serial()
-        report = self._assemble(results, alignments)
-        report.wall_seconds = time.perf_counter() - started
+        batch = BatchTelemetry(self.telemetry, jobs=self.jobs)
+        with batch.span("batch.execute", jobs=self.jobs):
+            if self.jobs > 1:
+                results, alignments, compare_telemetry = \
+                    self._execute_parallel()
+            else:
+                results, alignments, compare_telemetry = \
+                    self._execute_serial()
+        with batch.span("batch.assemble"):
+            report = self._assemble(results, alignments)
+        report.wall_seconds = batch.stop()
         if self.workdir:
             path = os.path.join(self.workdir, "regression_summary.txt")
             with open(path, "w", encoding="utf-8") as handle:
                 handle.write(report.render())
+        batch.export(
+            report=report, results=results, alignments=alignments,
+            compare_telemetry=compare_telemetry, configs=self.configs,
+            tests=self.tests, seeds=self.seeds,
+        )
         return report

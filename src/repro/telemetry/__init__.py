@@ -1,0 +1,87 @@
+"""Metrics, span tracing and structured run logs for the whole stack.
+
+The measurement substrate under every perf PR: counters/gauges/
+histograms (:mod:`~repro.telemetry.metrics`), span-based tracing with
+Chrome/Perfetto export where parallel regression workers render as
+lanes (:mod:`~repro.telemetry.trace`), JSON-lines run logs carrying
+``(config, test, seed, view)`` context (:mod:`~repro.telemetry.runlog`),
+and the batch plumbing that threads all three through the kernel, the
+regression engine and the analyzer (:mod:`~repro.telemetry.session`).
+
+Design invariants:
+
+* **Near-zero overhead when disabled** — disabled registries and
+  collectors hand out shared no-op singletons; instrumented hot paths
+  never branch on "is telemetry on".
+* **Side channels only** — telemetry goes to its own files (and stderr
+  for the batch log line), never stdout; report artifacts are
+  byte-identical with and without telemetry.
+* **Picklable payloads** — per-run telemetry crosses the regression
+  engine's worker-process boundary as plain dicts/lists.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_REGISTRY,
+    merge_histogram_snapshots,
+)
+from .trace import (
+    NULL_TRACE,
+    TraceCollector,
+    assign_lanes,
+    chrome_trace_payload,
+    span_seconds,
+    write_chrome_trace,
+)
+from .runlog import NULL_LOG, RunLogger
+from .session import (
+    ALIGNMENT_BUCKETS,
+    BatchTelemetry,
+    METRICS_SCHEMA,
+    NULL_TELEMETRY,
+    PHASE_NAMES,
+    RunRecorder,
+    RunTelemetry,
+    Telemetry,
+    TelemetryConfig,
+)
+from .summarize import SummaryError, summarize_metrics
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_REGISTRY",
+    "merge_histogram_snapshots",
+    "TraceCollector",
+    "NULL_TRACE",
+    "assign_lanes",
+    "chrome_trace_payload",
+    "span_seconds",
+    "write_chrome_trace",
+    "RunLogger",
+    "NULL_LOG",
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "TelemetryConfig",
+    "RunRecorder",
+    "RunTelemetry",
+    "BatchTelemetry",
+    "PHASE_NAMES",
+    "ALIGNMENT_BUCKETS",
+    "METRICS_SCHEMA",
+    "SummaryError",
+    "summarize_metrics",
+]

@@ -1,0 +1,57 @@
+"""Command-line front-end for the telemetry tools.
+
+Usage::
+
+    python -m repro.telemetry summarize METRICS_JSON [--top N]
+
+Renders the human-readable batch digest (slowest runs, hottest kernel
+processes, worker utilization) from a ``metrics.json`` produced by
+``python -m repro.regression ... --metrics-out METRICS_JSON``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .summarize import SummaryError, summarize_metrics
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.telemetry",
+        description="Inspect telemetry artifacts from regression batches.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    summ = sub.add_parser(
+        "summarize",
+        help="render a human-readable digest of a metrics.json rollup",
+    )
+    summ.add_argument("metrics", help="metrics.json written by --metrics-out")
+    summ.add_argument("--top", type=int, default=5, metavar="N",
+                      help="entries per ranking section (default 5)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "summarize":
+        if args.top < 1:
+            print("error: --top must be >= 1", file=sys.stderr)
+            return 2
+        try:
+            with open(args.metrics, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {args.metrics}: {exc}",
+                  file=sys.stderr)
+            return 2
+        try:
+            print(summarize_metrics(payload, top=args.top), end="")
+        except SummaryError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+    return 2  # pragma: no cover - argparse enforces the subcommand

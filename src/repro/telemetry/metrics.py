@@ -1,0 +1,239 @@
+"""Counters, gauges and histograms with a zero-cost disabled mode.
+
+The regression flow of the paper signs BCA models off from *aggregate*
+evidence (coverage, alignment rate, pass/fail); this module adds the
+missing quantitative layer underneath: where do cycles, wall-time and
+worker capacity actually go?  A :class:`MetricRegistry` hands out named
+instruments —
+
+* :class:`Counter` — monotonically increasing totals (kernel cycles,
+  delta iterations, signal commits, VCD bytes),
+* :class:`Gauge` — last-value-wins measurements (worker count, queue
+  depth),
+* :class:`Histogram` — bucketed distributions (per-port alignment
+  rates, phase durations).
+
+A registry created with ``enabled=False`` (or the module-level
+:data:`NULL_REGISTRY`) hands out shared *no-op* singletons instead:
+``counter(...).inc()`` on the disabled path is a constant-time call on a
+stateless object — no allocation, no dict growth, no branches in the
+caller.  Hot paths therefore take a registry unconditionally and never
+guard their instrument calls.
+
+Snapshots are plain JSON-able dicts, picklable across the regression
+engine's worker-process boundary, and mergeable (counters add,
+histograms combine bucket-wise) so a batch rollup can aggregate per-run
+registries.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+
+class MetricError(ValueError):
+    """Instrument misuse (name reused across kinds, bucket mismatch)."""
+
+
+class Counter:
+    """A monotonically increasing integer total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A bucketed distribution with count/sum/min/max.
+
+    ``buckets`` are upper bounds (inclusive); one implicit overflow
+    bucket catches everything above the last bound.  An empty bucket
+    tuple records only count/sum/min/max.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total",
+                 "minimum", "maximum")
+
+    def __init__(self, name: str, buckets: Sequence[float] = ()) -> None:
+        self.name = name
+        self.buckets: Tuple[float, ...] = tuple(buckets)
+        if list(self.buckets) != sorted(self.buckets):
+            raise MetricError(f"histogram {name!r}: buckets must be sorted")
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        self.counts[bisect_left(self.buckets, value)] += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "bounds": list(self.buckets),
+            "counts": list(self.counts),
+        }
+
+
+def merge_histogram_snapshots(
+    into: Dict[str, object], snap: Dict[str, object]
+) -> Dict[str, object]:
+    """Combine two histogram snapshots (same bucket bounds) in place."""
+    if not into:
+        into.update({key: (list(val) if isinstance(val, list) else val)
+                     for key, val in snap.items()})
+        return into
+    if into["bounds"] != snap["bounds"]:
+        raise MetricError(
+            f"cannot merge histograms with bounds {into['bounds']} "
+            f"and {snap['bounds']}"
+        )
+    into["count"] = int(into["count"]) + int(snap["count"])
+    into["sum"] = float(into["sum"]) + float(snap["sum"])
+    for key, pick in (("min", min), ("max", max)):
+        values = [v for v in (into[key], snap[key]) if v is not None]
+        into[key] = pick(values) if values else None
+    into["counts"] = [a + b for a, b in zip(into["counts"], snap["counts"])]
+    return into
+
+
+class _NullCounter:
+    """Shared no-op counter handed out by disabled registries."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = "<null>"
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "<null>"
+    count = 0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, object]:
+        return {}
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricRegistry:
+    """Named instruments, memoized by name, with a disabled no-op mode."""
+
+    __slots__ = ("enabled", "_counters", "_gauges", "_histograms")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _check_unique(self, name: str, kind: str) -> None:
+        for other_kind, table in (("counter", self._counters),
+                                  ("gauge", self._gauges),
+                                  ("histogram", self._histograms)):
+            if kind != other_kind and name in table:
+                raise MetricError(
+                    f"metric {name!r} already registered as a {other_kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER  # type: ignore[return-value]
+        inst = self._counters.get(name)
+        if inst is None:
+            self._check_unique(name, "counter")
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return NULL_GAUGE  # type: ignore[return-value]
+        inst = self._gauges.get(name)
+        if inst is None:
+            self._check_unique(name, "gauge")
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = ()) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM  # type: ignore[return-value]
+        inst = self._histograms.get(name)
+        if inst is None:
+            self._check_unique(name, "histogram")
+            inst = self._histograms[name] = Histogram(name, buckets)
+        elif buckets and tuple(buckets) != inst.buckets:
+            raise MetricError(
+                f"histogram {name!r} already registered with buckets "
+                f"{inst.buckets}"
+            )
+        return inst
+
+    def inc_many(self, items: Iterable[Tuple[str, int]],
+                 prefix: str = "") -> None:
+        """Bulk-increment counters (``prefix`` is prepended to each name)."""
+        if not self.enabled:
+            return
+        for name, amount in items:
+            self.counter(prefix + name).inc(amount)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-able view of every live instrument."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.snapshot() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+
+#: Shared disabled registry: the default for every instrumented code path.
+NULL_REGISTRY = MetricRegistry(enabled=False)

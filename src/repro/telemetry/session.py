@@ -1,0 +1,407 @@
+"""Telemetry plumbing for the regression batch engine.
+
+Four pieces:
+
+* :class:`Telemetry` — the facade instrumented code takes: a metric
+  registry, a trace collector and a run logger, each individually a
+  no-op when disabled.  :data:`NULL_TELEMETRY` is the all-disabled
+  default, so hot paths call ``telemetry.span(...)`` unconditionally.
+* :class:`TelemetryConfig` — what the user asked for on the CLI
+  (``--metrics-out``, ``--trace-out``, ``--log-json``,
+  ``--time-processes``).
+* :class:`RunRecorder` — per-(config, test, seed, view) recorder living
+  in whichever process executes the run (a pool worker under
+  ``jobs=N``, the parent under ``jobs=1``).  Its :meth:`payload` is a
+  picklable :class:`RunTelemetry` shipped back across the process
+  boundary.
+* :class:`BatchTelemetry` — parent-side aggregator: times the batch,
+  collects every run/compare payload, and exports the side-channel
+  files.  Telemetry NEVER writes to stdout and never touches the report
+  artifacts — byte-identity between instrumented and plain runs is an
+  invariant the tests pin down.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import MetricRegistry, NULL_REGISTRY, merge_histogram_snapshots
+from .runlog import NULL_LOG, RunLogger
+from .trace import (
+    NULL_TRACE,
+    TraceCollector,
+    assign_lanes,
+    span_seconds,
+    write_chrome_trace,
+)
+
+#: Span names that count as run phases in the metrics rollup.
+PHASE_NAMES = ("generate", "elaborate", "run", "finalize", "report",
+               "compare")
+
+#: Bucket bounds for the per-port alignment-rate histogram.
+ALIGNMENT_BUCKETS = (0.5, 0.9, 0.95, 0.99, 0.999, 1.0)
+
+#: Version tag written into every metrics file.
+METRICS_SCHEMA = "repro.telemetry/metrics/v1"
+
+
+class Telemetry:
+    """Registry + tracer + logger bundle; each part no-op when disabled."""
+
+    __slots__ = ("registry", "trace", "log", "enabled")
+
+    def __init__(
+        self,
+        registry: Optional[MetricRegistry] = None,
+        trace: Optional[TraceCollector] = None,
+        log: Optional[RunLogger] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self.trace = trace if trace is not None else NULL_TRACE
+        self.log = log if log is not None else NULL_LOG
+        self.enabled = (
+            self.registry.enabled or self.trace.enabled or self.log.enabled
+        )
+
+    def span(self, name: str, **args: object):
+        return self.trace.span(name, **args)
+
+
+#: The all-disabled bundle instrumented code defaults to.
+NULL_TELEMETRY = Telemetry()
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """What to record and where the side-channel files go."""
+
+    metrics_out: Optional[str] = None
+    trace_out: Optional[str] = None
+    log_out: Optional[str] = None
+    time_processes: bool = False
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.metrics_out or self.trace_out or self.log_out)
+
+    def with_tag(self, tag: str) -> "TelemetryConfig":
+        """Derive a config whose file names carry ``tag`` (for flows that
+        run several regressions, e.g. one per verification iteration)."""
+        def tagged(path: Optional[str]) -> Optional[str]:
+            if path is None:
+                return None
+            stem, ext = os.path.splitext(path)
+            return f"{stem}.{tag}{ext}"
+
+        return TelemetryConfig(
+            metrics_out=tagged(self.metrics_out),
+            trace_out=tagged(self.trace_out),
+            log_out=tagged(self.log_out),
+            time_processes=self.time_processes,
+        )
+
+
+@dataclass
+class RunTelemetry:
+    """Picklable per-run telemetry shipped from the executing process."""
+
+    pid: int
+    started_at: float
+    finished_at: float
+    queue_wait_seconds: float
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    histograms: Dict[str, dict] = field(default_factory=dict)
+    process_seconds: Dict[str, List[float]] = field(default_factory=dict)
+    events: List[dict] = field(default_factory=list)
+    records: List[dict] = field(default_factory=list)
+
+    @property
+    def busy_seconds(self) -> float:
+        return max(0.0, self.finished_at - self.started_at)
+
+
+class RunRecorder:
+    """Records one run (or one comparison) in the executing process."""
+
+    def __init__(
+        self,
+        context: Dict[str, object],
+        submitted_at: Optional[float] = None,
+    ) -> None:
+        self.context = dict(context)
+        self.submitted_at = submitted_at
+        self.started_at = time.time()
+        self.telemetry = Telemetry(
+            registry=MetricRegistry(),
+            trace=TraceCollector(),
+            log=RunLogger(buffer=True, context=self.context),
+        )
+
+    def span(self, name: str, **args: object):
+        return self.telemetry.span(name, **args)
+
+    def payload(self) -> RunTelemetry:
+        """Freeze everything recorded so far into a picklable value."""
+        finished = time.time()
+        snapshot = self.telemetry.registry.snapshot()
+        phases = {
+            name: seconds
+            for name, seconds in span_seconds(self.telemetry.trace.events).items()
+            if name in PHASE_NAMES
+        }
+        queue_wait = (
+            max(0.0, self.started_at - self.submitted_at)
+            if self.submitted_at is not None else 0.0
+        )
+        return RunTelemetry(
+            pid=self.telemetry.trace.pid,
+            started_at=self.started_at,
+            finished_at=finished,
+            queue_wait_seconds=queue_wait,
+            phase_seconds=phases,
+            counters=snapshot["counters"],
+            histograms=snapshot["histograms"],
+            events=self.telemetry.trace.events,
+            records=self.telemetry.log.records,
+        )
+
+
+class BatchTelemetry:
+    """Parent-side batch timing, aggregation and file export.
+
+    Always times the batch (two ``perf_counter`` calls) so
+    ``RegressionReport.wall_seconds`` keeps working; everything else is
+    inert unless the config enables an output.
+    """
+
+    def __init__(self, config: Optional[TelemetryConfig], *,
+                 jobs: int = 1) -> None:
+        self.config = config if config is not None else TelemetryConfig()
+        self.enabled = self.config.enabled
+        self.jobs = jobs
+        self.trace = TraceCollector(enabled=self.enabled)
+        self._wall_start = time.perf_counter()
+        self._wall_seconds: Optional[float] = None
+
+    def span(self, name: str, **args: object):
+        return self.trace.span(name, **args)
+
+    def stop(self) -> float:
+        """Fix and return the batch wall time (idempotent)."""
+        if self._wall_seconds is None:
+            self._wall_seconds = time.perf_counter() - self._wall_start
+        return self._wall_seconds
+
+    # -- export ------------------------------------------------------------
+
+    def export(
+        self,
+        *,
+        report,
+        results: Dict[Tuple[int, str, int, str], object],
+        alignments: Dict[Tuple[int, str, int], object],
+        compare_telemetry: Dict[Tuple[int, str, int], RunTelemetry],
+        configs,
+        tests,
+        seeds,
+    ) -> None:
+        """Write metrics/trace/log side-channel files (no-op if disabled)."""
+        if not self.enabled:
+            return
+        wall = self.stop()
+        run_keys = [
+            (ci, test, seed, view)
+            for ci in range(len(configs))
+            for test in tests
+            for seed in seeds
+            for view in ("rtl", "bca")
+        ]
+        entry_keys = [key[:3] for key in run_keys[::2]]
+        payloads = {
+            key: getattr(results[key], "telemetry", None)
+            for key in run_keys if key in results
+        }
+        if self.config.metrics_out:
+            self._write_metrics(
+                report, wall, run_keys, entry_keys, results, payloads,
+                alignments, compare_telemetry, configs,
+            )
+        if self.config.trace_out:
+            events = list(self.trace.events)
+            for key in run_keys:
+                payload = payloads.get(key)
+                if payload is not None:
+                    events.extend(payload.events)
+            for key in entry_keys:
+                payload = compare_telemetry.get(key)
+                if payload is not None:
+                    events.extend(payload.events)
+            write_chrome_trace(
+                self.config.trace_out, events,
+                lanes=assign_lanes(events, main_pid=self.trace.pid),
+                process_name="repro regression batch",
+            )
+        if self.config.log_out:
+            self._write_log(
+                report, wall, run_keys, entry_keys, payloads,
+                compare_telemetry, configs, tests, seeds,
+            )
+
+    def _worker_lanes(
+        self,
+        payloads: Dict[Tuple[int, str, int, str], Optional[RunTelemetry]],
+        compare_telemetry: Dict[Tuple[int, str, int], RunTelemetry],
+        wall: float,
+    ) -> Dict[str, dict]:
+        lanes: Dict[int, dict] = {}
+        all_payloads = list(payloads.values()) + list(compare_telemetry.values())
+        for payload in all_payloads:
+            if payload is None:
+                continue
+            lane = lanes.setdefault(payload.pid, {
+                "pid": payload.pid, "n_jobs": 0, "busy_seconds": 0.0,
+                "first_start": payload.started_at,
+            })
+            lane["n_jobs"] += 1
+            lane["busy_seconds"] += payload.busy_seconds
+            lane["first_start"] = min(lane["first_start"], payload.started_at)
+        main_pid = self.trace.pid
+        named: Dict[str, dict] = {}
+        workers = sorted(
+            (lane["first_start"], pid)
+            for pid, lane in lanes.items() if pid != main_pid
+        )
+        for index, (_, pid) in enumerate(workers):
+            named[f"worker-{index}"] = lanes[pid]
+        if main_pid in lanes:
+            named["main"] = lanes[main_pid]
+        for lane in named.values():
+            lane.pop("first_start")
+            lane["busy_seconds"] = round(lane["busy_seconds"], 6)
+            lane["utilization"] = round(
+                lane["busy_seconds"] / wall, 4) if wall > 0 else 0.0
+        return named
+
+    def _write_metrics(self, report, wall, run_keys, entry_keys, results,
+                       payloads, alignments, compare_telemetry,
+                       configs) -> None:
+        import json
+
+        kernel_totals: Dict[str, int] = {}
+        phase_totals: Dict[str, float] = {}
+        runs: List[dict] = []
+        for key in run_keys:
+            ci, test, seed, view = key
+            result = results.get(key)
+            if result is None:
+                continue
+            for name, value in result.kernel_stats.items():
+                kernel_totals[name] = kernel_totals.get(name, 0) + value
+            payload = payloads.get(key)
+            entry = {
+                "config": configs[ci].name,
+                "test": test,
+                "seed": seed,
+                "view": view,
+                "passed": result.passed,
+                "cycles": result.cycles,
+                "wall_seconds": round(result.wall_seconds, 6),
+                "kernel": dict(result.kernel_stats),
+            }
+            if result.process_seconds:
+                entry["process_seconds"] = {
+                    name: [calls, round(seconds, 6)]
+                    for name, (calls, seconds)
+                    in sorted(result.process_seconds.items())
+                }
+            if payload is not None:
+                entry["queue_wait_seconds"] = round(
+                    payload.queue_wait_seconds, 6)
+                entry["phase_seconds"] = {
+                    name: round(seconds, 6)
+                    for name, seconds in sorted(payload.phase_seconds.items())
+                }
+                for name, seconds in payload.phase_seconds.items():
+                    phase_totals[name] = phase_totals.get(name, 0.0) + seconds
+            runs.append(entry)
+        compares: List[dict] = []
+        histograms: Dict[str, dict] = {}
+        for key in entry_keys:
+            ci, test, seed = key
+            payload = compare_telemetry.get(key)
+            alignment = alignments.get(key)
+            if payload is None and alignment is None:
+                continue
+            entry = {"config": configs[ci].name, "test": test, "seed": seed}
+            if alignment is not None:
+                entry["min_rate"] = round(alignment.min_rate, 6)
+                entry["overall_rate"] = round(alignment.overall_rate, 6)
+            if payload is not None:
+                entry["seconds"] = round(payload.busy_seconds, 6)
+                entry["queue_wait_seconds"] = round(
+                    payload.queue_wait_seconds, 6)
+                for name, seconds in payload.phase_seconds.items():
+                    phase_totals[name] = phase_totals.get(name, 0.0) + seconds
+                for name, snap in payload.histograms.items():
+                    merge_histogram_snapshots(
+                        histograms.setdefault(name, {}), snap)
+            compares.append(entry)
+        payload_out = {
+            "schema": METRICS_SCHEMA,
+            "batch": {
+                "wall_seconds": round(wall, 6),
+                "jobs": self.jobs,
+                "n_runs": report.n_runs,
+                "n_configs": len(configs),
+                "all_signed_off": report.all_signed_off,
+                "kernel_totals": dict(sorted(kernel_totals.items())),
+                "phase_totals": {
+                    name: round(seconds, 6)
+                    for name, seconds in sorted(phase_totals.items())
+                },
+                "workers": self._worker_lanes(
+                    payloads, compare_telemetry, wall),
+            },
+            "runs": runs,
+            "compares": compares,
+            "histograms": histograms,
+        }
+        with open(self.config.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(payload_out, handle, indent=1)
+            handle.write("\n")
+
+    def _write_log(self, report, wall, run_keys, entry_keys, payloads,
+                   compare_telemetry, configs, tests, seeds) -> None:
+        logger = RunLogger(path=self.config.log_out)
+        try:
+            logger.log(
+                "batch.start",
+                configs=[c.name for c in configs],
+                tests=list(tests),
+                seeds=list(seeds),
+                jobs=self.jobs,
+            )
+            for key in run_keys:
+                payload = payloads.get(key)
+                if payload is not None:
+                    for record in payload.records:
+                        logger.write_record(record)
+            for key in entry_keys:
+                payload = compare_telemetry.get(key)
+                if payload is not None:
+                    for record in payload.records:
+                        logger.write_record(record)
+            logger.log(
+                "batch.complete",
+                n_runs=report.n_runs,
+                wall_seconds=round(wall, 6),
+                jobs=self.jobs,
+                all_signed_off=report.all_signed_off,
+            )
+        finally:
+            logger.close()

@@ -90,6 +90,9 @@ class VcdWriter(Tracer):
         self._last: Dict[str, int] = {}
         self._header_written = False
         self._finished = False
+        #: Characters flushed to the stream so far (the output is ASCII,
+        #: so this equals bytes on disk); telemetry reads it per run.
+        self.bytes_written = 0
         # Value-change lines are batched here and written in one
         # ``str.join`` per ~64 KiB instead of one stream write per line.
         self._buf: List[str] = []
@@ -164,6 +167,7 @@ class VcdWriter(Tracer):
     def _flush(self) -> None:
         if self._buf:
             self._out.write("".join(self._buf))
+            self.bytes_written += self._buf_chars
             self._buf.clear()
             self._buf_chars = 0
 

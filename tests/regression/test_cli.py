@@ -103,7 +103,10 @@ def test_regression_cli_missing_dir(tmp_path, capsys):
 
 def test_regression_cli_parallel_smoke(tmp_path, capsys):
     """A 2-config regression under --jobs 2 works inside pytest (no
-    daemon/multiprocessing clash) and prints timing on stderr only."""
+    daemon/multiprocessing clash) and prints timing on stderr only, as
+    one structured JSON record."""
+    import json
+
     cfgs = [
         NodeConfig(n_initiators=2, n_targets=2, name="clipar_a"),
         NodeConfig(n_initiators=2, n_targets=1, name="clipar_b"),
@@ -118,8 +121,13 @@ def test_regression_cli_parallel_smoke(tmp_path, capsys):
     captured = capsys.readouterr()
     assert code == 0
     assert "SIGNED OFF" in captured.out
-    assert "jobs=2" in captured.err
-    assert "jobs=2" not in captured.out
+    record = json.loads(captured.err.strip().splitlines()[-1])
+    assert record["event"] == "batch.complete"
+    assert record["jobs"] == 2
+    assert record["n_runs"] == 96  # 2 configs x 12 tests x 2 seeds x 2 views
+    assert record["all_signed_off"] is True
+    assert record["wall_seconds"] > 0
+    assert "jobs" not in captured.out
     assert os.path.exists(tmp_path / "out" / "regression_summary.txt")
 
 
