@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..telemetry import ALIGNMENT_BUCKETS, NULL_TELEMETRY, Telemetry
-from ..vcd import VcdFile, parse_vcd
+from ..vcd import VcdFile, VcdParseError, parse_vcd
 from .extract import PORT_SIGNALS, ExtractionError, discover_ports
 
 #: The paper's sign-off threshold.
@@ -95,6 +95,20 @@ class AlignmentReport:
         return "\n".join(lines) + "\n"
 
 
+def _parse_dump(source: Union[str, VcdFile]) -> VcdFile:
+    """Parse one dump, naming the offending file when it is truncated,
+    empty or otherwise corrupt (a crashed simulation run leaves exactly
+    such dumps behind)."""
+    if not isinstance(source, str):
+        return source
+    try:
+        return parse_vcd(source)
+    except VcdParseError as exc:
+        raise ExtractionError(
+            f"cannot compare {source}: truncated or corrupt VCD ({exc})"
+        ) from exc
+
+
 def compare_vcds(
     a: Union[str, VcdFile],
     b: Union[str, VcdFile],
@@ -113,8 +127,8 @@ def compare_vcds(
     """
     tele = telemetry if telemetry is not None else NULL_TELEMETRY
     with tele.span("analyzer.parse"):
-        vcd_a = parse_vcd(a) if isinstance(a, str) else a
-        vcd_b = parse_vcd(b) if isinstance(b, str) else b
+        vcd_a = _parse_dump(a)
+        vcd_b = _parse_dump(b)
     ports_a = set(discover_ports(vcd_a))
     ports_b = set(discover_ports(vcd_b))
     if scopes is None:

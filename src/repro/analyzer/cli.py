@@ -16,6 +16,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from ..vcd import VcdParseError
 from .align import SIGNOFF_THRESHOLD, compare_vcds
 from .diff import diff_transactions
 from .extract import ExtractionError
@@ -100,15 +101,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         report = compare_vcds(args.rtl_vcd, args.bca_vcd, scopes=args.ports,
                               telemetry=telemetry)
-    except (ExtractionError, OSError) as exc:
+    except (ExtractionError, VcdParseError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if telemetry is not None:
         _export_telemetry(args, telemetry)
     print(report.render(), end="")
     if args.diff:
-        diff = diff_transactions(args.rtl_vcd, args.bca_vcd,
-                                 scopes=args.ports)
+        try:
+            diff = diff_transactions(args.rtl_vcd, args.bca_vcd,
+                                     scopes=args.ports)
+        except (ExtractionError, VcdParseError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         print(diff.render(), end="")
     if args.wave:
         for name in sorted(report.ports):

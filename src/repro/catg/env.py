@@ -70,6 +70,17 @@ class RunResult:
     def coverage_percent(self) -> float:
         return self.coverage.percent
 
+    @property
+    def status(self) -> str:
+        """Entry status for the regression report and journal:
+        ``PASS``/``FAIL`` for completed runs, ``TIMEOUT`` when the
+        simulation hit its cycle budget.  The resilience layer adds
+        ``ERROR``/``QUARANTINED`` via
+        :class:`~repro.regression.resilience.RunFailure`."""
+        if self.timed_out:
+            return "TIMEOUT"
+        return "PASS" if self.passed else "FAIL"
+
     def summary(self) -> str:
         status = "PASS" if self.passed else "FAIL"
         return (

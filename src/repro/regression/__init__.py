@@ -15,6 +15,13 @@ from .flow import (
     FlowState,
 )
 from .parallel import RunJob, default_jobs, execute_run_job
+from .resilience import (
+    BatchFaults,
+    Journal,
+    JournalError,
+    ResilienceConfig,
+    RunFailure,
+)
 
 __all__ = [
     "configuration_matrix",
@@ -33,4 +40,9 @@ __all__ = [
     "RunJob",
     "default_jobs",
     "execute_run_job",
+    "BatchFaults",
+    "Journal",
+    "JournalError",
+    "ResilienceConfig",
+    "RunFailure",
 ]

@@ -22,6 +22,7 @@ from ..bca import ALL_BUGS
 from ..stbus import ConfigError
 from ..telemetry import RunLogger, TelemetryConfig
 from .configs import load_config_dir
+from .resilience import JournalError, ResilienceConfig
 from .runner import RegressionRunner
 from .testcases import TESTCASES
 
@@ -60,6 +61,35 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--lint-waivers", metavar="FILE", default=None,
                         help="waiver file for the lint gate (see "
                              "python -m repro.lint --help)")
+    resilience = parser.add_argument_group(
+        "fault tolerance",
+        "Crash isolation is always on: a crashed/hung run becomes an "
+        "ERROR/TIMEOUT entry in the report instead of aborting the "
+        "batch.  These flags tune deadlines, retries and the "
+        "checkpoint journal.",
+    )
+    resilience.add_argument("--run-timeout", type=float, default=None,
+                            metavar="SECONDS",
+                            help="wall-clock deadline per run/comparison; "
+                                 "a run past it is killed and recorded as "
+                                 "TIMEOUT (default: no deadline)")
+    resilience.add_argument("--max-retries", type=int, default=2,
+                            metavar="N",
+                            help="retries for a crashed/timed-out job "
+                                 "before it is quarantined (default: "
+                                 "%(default)s)")
+    resilience.add_argument("--retry-backoff", type=float, default=0.25,
+                            metavar="SECONDS",
+                            help="base delay before a retry; doubles per "
+                                 "attempt (default: %(default)s)")
+    resilience.add_argument("--journal", metavar="FILE", default=None,
+                            help="append-only JSONL checkpoint journal "
+                                 "recording each completed run with its "
+                                 "artifact digests")
+    resilience.add_argument("--resume", action="store_true",
+                            help="replay completed runs from --journal "
+                                 "and execute only the remainder "
+                                 "(requires --journal)")
     telemetry = parser.add_argument_group(
         "telemetry",
         "Side-channel observability files; none of them changes a "
@@ -101,6 +131,23 @@ def _lint_gate(configs, waiver_file: Optional[str]) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    # Flag validation first: a bad flag should fail before any config is
+    # loaded or linted.
+    if args.jobs < 0:
+        print(f"error: --jobs must be >= 0, got {args.jobs}",
+              file=sys.stderr)
+        return 2
+    if args.resume and not args.journal:
+        print("error: --resume requires --journal FILE", file=sys.stderr)
+        return 2
+    if args.max_retries < 0:
+        print(f"error: --max-retries must be >= 0, got {args.max_retries}",
+              file=sys.stderr)
+        return 2
+    if args.run_timeout is not None and args.run_timeout <= 0:
+        print(f"error: --run-timeout must be > 0, got {args.run_timeout}",
+              file=sys.stderr)
+        return 2
     try:
         configs = load_config_dir(args.config_dir)
     except ConfigError as exc:
@@ -125,9 +172,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .parallel import default_jobs
 
         jobs = default_jobs()
-    elif jobs < 0:
-        print(f"error: --jobs must be >= 0, got {jobs}", file=sys.stderr)
-        return 2
     runner = RegressionRunner(
         configs,
         tests=args.tests,
@@ -142,8 +186,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             log_out=args.log_json,
             time_processes=args.time_processes,
         ),
+        resilience=ResilienceConfig(
+            run_timeout=args.run_timeout,
+            max_retries=args.max_retries,
+            backoff=args.retry_backoff,
+            journal_path=args.journal,
+            resume=args.resume,
+        ),
     )
-    report = runner.run()
+    try:
+        report = runner.run()
+    except JournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        hint = (
+            f"; resume with --journal {args.journal} --resume"
+            if args.journal else ""
+        )
+        print(f"interrupted: batch aborted{hint}", file=sys.stderr)
+        return 130
     print(report.render(), end="")
     # Timing goes to stderr as a structured record so stdout (and the
     # summary artifact) stay byte-identical between serial and parallel

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..analyzer import SIGNOFF_THRESHOLD
 from ..stbus import NodeConfig
 from ..telemetry import TelemetryConfig
+from .resilience import ResilienceConfig
 from .runner import ConfigReport, RegressionRunner
 
 
@@ -76,6 +77,12 @@ class CommonVerificationFlow:
     regression the flow runs; since the flow may iterate several times,
     each iteration's side-channel files are tagged ``iterN`` (e.g.
     ``metrics.iter2.json``) so no iteration overwrites another.
+
+    ``resilience`` (an optional
+    :class:`~repro.regression.resilience.ResilienceConfig`) is threaded
+    the same way; a configured checkpoint journal is likewise tagged per
+    iteration (``journal.iter2.jsonl``) so resuming an interrupted
+    iteration never replays a previous one.
     """
 
     def __init__(
@@ -89,6 +96,7 @@ class CommonVerificationFlow:
         lint: bool = True,
         jobs: int = 1,
         telemetry: Optional[TelemetryConfig] = None,
+        resilience: Optional["ResilienceConfig"] = None,
     ):
         self.config = config
         self.tests = tests
@@ -100,6 +108,9 @@ class CommonVerificationFlow:
         self.jobs = jobs
         self.telemetry = (
             telemetry if telemetry is not None else TelemetryConfig()
+        )
+        self.resilience = (
+            resilience if resilience is not None else ResilienceConfig()
         )
         self._iteration = 0
         self.history: List[FlowEvent] = []
@@ -158,10 +169,13 @@ class CommonVerificationFlow:
         telemetry = self.telemetry
         if telemetry.enabled:
             telemetry = telemetry.with_tag(f"iter{self._iteration}")
+        resilience = self.resilience
+        if resilience.journal_path:
+            resilience = resilience.with_tag(f"iter{self._iteration}")
         runner = RegressionRunner(
             [self.config], tests=self.tests, seeds=self.seeds,
             workdir=self.workdir, bca_bugs=self.bca_bugs,
-            jobs=self.jobs, telemetry=telemetry,
+            jobs=self.jobs, telemetry=telemetry, resilience=resilience,
         )
         return runner.run().configs[0]
 

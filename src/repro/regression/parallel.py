@@ -22,13 +22,12 @@ program locally instead of shipping it, exactly as the serial path does.
 from __future__ import annotations
 
 import os
-import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional, Tuple
 
 from ..analyzer import AlignmentReport, compare_vcds
 from ..catg.env import RunResult, run_test
+from ..ioutil import atomic_write
 from ..stbus import NodeConfig
 from ..telemetry import RunRecorder, RunTelemetry
 from .testcases import build_test
@@ -58,6 +57,9 @@ class RunJob:
     time_processes: bool = False
     #: Wall-clock (epoch) submission time; queue wait = start - submit.
     submitted_at: Optional[float] = None
+    #: Which execution attempt this is (0 = first try); the resilience
+    #: layer bumps it on retries and the chaos hooks key off it.
+    attempt: int = 0
 
 
 @dataclass(frozen=True)
@@ -71,14 +73,17 @@ class CompareJob:
     seed: int
     telemetry: bool = False
     submitted_at: Optional[float] = None
+    attempt: int = 0
 
 
 def write_run_reports(stem: str, result: RunResult) -> None:
     """Per-(test, seed) artifacts: "a verification report and a
-    functional coverage one are generated" (Section 4)."""
-    with open(stem + ".report.txt", "w", encoding="utf-8") as handle:
+    functional coverage one are generated" (Section 4).  Written
+    atomically so a worker killed mid-write never leaves a torn report
+    a later ``--resume`` would trust."""
+    with atomic_write(stem + ".report.txt") as handle:
         handle.write(result.report.render())
-    with open(stem + ".coverage.txt", "w", encoding="utf-8") as handle:
+    with atomic_write(stem + ".coverage.txt") as handle:
         handle.write(result.coverage.render())
 
 
@@ -176,50 +181,24 @@ def execute_batch(
     is submitted to the same pool, so comparisons overlap with the
     remaining simulations instead of waiting behind a barrier.
 
+    Compatibility wrapper over
+    :class:`~repro.regression.resilience.ResilientBatchExecutor` (with
+    the default fault-tolerance policy): a fault-free batch returns
+    byte-identical results to the historical unguarded pool, while a
+    crashed worker or broken pool now yields
+    :class:`~repro.regression.resilience.RunFailure` values in
+    ``results`` instead of aborting the whole batch.
+
     Returns the run results, the alignment reports, and (when
     ``telemetry``) the per-comparison telemetry payloads.
     """
-    results: Dict[RunKey, RunResult] = {}
-    alignments: Dict[EntryKey, AlignmentReport] = {}
-    compare_telemetry: Dict[EntryKey, RunTelemetry] = {}
-    vcd_paths: Dict[RunKey, Optional[str]] = {
-        key: job.vcd_path for key, job in jobs_by_key.items()
-    }
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        future_runs = {
-            pool.submit(execute_run_job, job): key
-            for key, job in jobs_by_key.items()
-        }
-        future_compares = {}
-        done_views: Dict[EntryKey, set] = {}
-        pending = set(future_runs)
-        while pending:
-            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in finished:
-                key = future_runs[future]
-                results[key] = future.result()
-                entry_key = key[:3]
-                views = done_views.setdefault(entry_key, set())
-                views.add(key[3])
-                if views == {"rtl", "bca"} and compare_waveforms:
-                    rtl_vcd = vcd_paths[entry_key + ("rtl",)]
-                    bca_vcd = vcd_paths[entry_key + ("bca",)]
-                    if rtl_vcd and bca_vcd:
-                        compare_job = CompareJob(
-                            rtl_vcd=rtl_vcd, bca_vcd=bca_vcd,
-                            config_name=jobs_by_key[key].config.name,
-                            test_name=entry_key[1], seed=entry_key[2],
-                            telemetry=telemetry,
-                            submitted_at=time.time() if telemetry else None,
-                        )
-                        future_compares[entry_key] = pool.submit(
-                            execute_compare_job, compare_job
-                        )
-        for entry_key, future in future_compares.items():
-            report, payload = future.result()
-            alignments[entry_key] = report
-            if payload is not None:
-                compare_telemetry[entry_key] = payload
+    from .resilience import ResilientBatchExecutor
+
+    executor = ResilientBatchExecutor(
+        jobs_by_key, jobs=jobs, compare_waveforms=compare_waveforms,
+        telemetry=telemetry,
+    )
+    results, alignments, compare_telemetry, _, _ = executor.execute()
     return results, alignments, compare_telemetry
 
 

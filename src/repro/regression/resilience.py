@@ -1,0 +1,972 @@
+"""Fault-tolerant execution layer for the regression batch engine.
+
+The paper's regression tool earns its keep overnight: a batch across
+many configurations and seeds must *finish with a usable report* even
+when individual runs misbehave.  This module wraps the embarrassingly
+parallel scheduler of :mod:`repro.regression.parallel` with four layers
+of protection:
+
+1. **Run-level crash isolation** — every run/compare job executes under
+   a guard that converts any exception (including a truncated or corrupt
+   VCD discovered in the compare stage) into a structured, picklable
+   :class:`RunFailure` carried into the report instead of aborting the
+   batch.
+2. **Wall-clock deadlines** — a parent-side watchdog enforces
+   ``run_timeout`` per job; the existing ``max_cycles`` budget only
+   bounds *simulated* cycles, not a worker stuck in native code.  A
+   timed-out worker is killed, the pool rebuilt, and every innocent
+   in-flight job rescheduled without consuming one of its attempts.
+3. **Bounded retry with backoff + quarantine** — crashed and timed-out
+   jobs are retried up to ``max_retries`` times with exponential
+   backoff; jobs that fail repeatedly are quarantined (excluded from the
+   batch, listed in the report with their failure history).  If the pool
+   itself breaks more than ``max_pool_rebuilds`` times the batch
+   degrades to serial execution in kill-able child processes.
+4. **Journaled checkpoint/resume** — an append-only JSONL journal
+   records each completed run with its artifact digests; ``resume``
+   replays completed runs from the journal and only executes the
+   remainder, so an interrupted batch (Ctrl-C, OOM, machine crash)
+   continues instead of restarting.
+
+The invariant throughout: a fault-free batch produces byte-identical
+report artifacts to the unguarded engine, for any ``jobs=N``, serial or
+parallel, with or without resume.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import heapq
+import json
+import multiprocessing
+import os
+import pickle
+import time
+import traceback
+import zlib
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..ioutil import file_digest
+from . import chaos
+from .parallel import (
+    CompareJob,
+    EntryKey,
+    RunJob,
+    RunKey,
+    execute_compare_job,
+    execute_run_job,
+)
+
+#: Watchdog poll interval (seconds) for the pool scheduling loop.
+_TICK = 0.05
+
+#: Ceiling on a single retry backoff delay.
+_MAX_BACKOFF = 30.0
+
+#: Entry statuses a regression report can now carry.
+STATUSES = ("PASS", "FAIL", "ERROR", "TIMEOUT", "QUARANTINED")
+
+
+# ---------------------------------------------------------------------------
+# Structured failures
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """A failed run or comparison, reduced to plain picklable values.
+
+    Instances stand in for :class:`~repro.catg.env.RunResult` (or an
+    alignment report) in the batch results, so the assembly path can
+    render a complete report with the affected entries marked instead of
+    losing the whole batch to one raw traceback.
+    """
+
+    config_name: str
+    test_name: str
+    seed: int
+    view: str                  # "rtl" | "bca" | "compare"
+    stage: str                 # "run" | "compare"
+    kind: str                  # "ERROR" | "TIMEOUT"
+    exc_type: str
+    message: str
+    traceback_text: str = ""
+    attempt: int = 0
+    quarantined: bool = False
+    #: One line per failed attempt, oldest first (set on the terminal
+    #: failure so the report can show the whole history).
+    history: Tuple[str, ...] = ()
+
+    # RunResult-compatible surface for the report assembly path.
+    @property
+    def passed(self) -> bool:
+        return False
+
+    @property
+    def timed_out(self) -> bool:
+        return self.kind == "TIMEOUT"
+
+    @property
+    def status(self) -> str:
+        return "QUARANTINED" if self.quarantined else self.kind
+
+    def describe(self) -> str:
+        return f"{self.kind} {self.exc_type}: {self.message}"
+
+    @classmethod
+    def from_exception(cls, *, config_name: str, test_name: str, seed: int,
+                       view: str, stage: str, exc: BaseException,
+                       attempt: int) -> "RunFailure":
+        return cls(
+            config_name=config_name, test_name=test_name, seed=seed,
+            view=view, stage=stage, kind="ERROR",
+            exc_type=type(exc).__name__, message=str(exc) or repr(exc),
+            traceback_text="".join(
+                traceback.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+            attempt=attempt,
+        )
+
+
+def guarded_execute_run(job: RunJob):
+    """Worker-side run wrapper: never raises, returns a tagged outcome
+    ``("ok", RunResult)`` or ``("fail", RunFailure)``."""
+    try:
+        chaos.inject_before_run(job)
+        result = execute_run_job(job)
+        chaos.inject_after_run(job)
+        return ("ok", result)
+    except Exception as exc:
+        return ("fail", RunFailure.from_exception(
+            config_name=job.config.name, test_name=job.test_name,
+            seed=job.seed, view=job.view, stage="run", exc=exc,
+            attempt=job.attempt,
+        ))
+
+
+def guarded_execute_compare(job: CompareJob):
+    """Worker-side compare wrapper; corrupt/truncated VCDs surface as a
+    structured failure, not a traceback."""
+    try:
+        return ("ok", execute_compare_job(job))
+    except Exception as exc:
+        return ("fail", RunFailure.from_exception(
+            config_name=job.config_name, test_name=job.test_name,
+            seed=job.seed, view="compare", stage="compare", exc=exc,
+            attempt=job.attempt,
+        ))
+
+
+# ---------------------------------------------------------------------------
+# Configuration and fault accounting
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Fault-tolerance knobs for one regression batch."""
+
+    #: Parent-side wall-clock deadline per run/compare job (seconds);
+    #: ``None`` disables the watchdog.  Under ``jobs=1`` a deadline
+    #: moves execution into kill-able child processes.
+    run_timeout: Optional[float] = None
+    #: Retries after the first failed attempt (total attempts = N + 1).
+    max_retries: int = 2
+    #: Base backoff delay; attempt *k* waits ``backoff * 2**(k-1)``.
+    backoff: float = 0.25
+    #: Unexpected pool breaks tolerated before degrading to serial
+    #: child-process execution.
+    max_pool_rebuilds: int = 3
+    #: Append-only JSONL checkpoint journal (``None`` disables it).
+    journal_path: Optional[str] = None
+    #: Replay completed runs from the journal instead of re-executing.
+    resume: bool = False
+
+    def with_tag(self, tag: str) -> "ResilienceConfig":
+        """Derive a config whose journal file carries ``tag`` (for flows
+        that run several regressions, one per iteration)."""
+        if not self.journal_path:
+            return self
+        stem, ext = os.path.splitext(self.journal_path)
+        return dataclasses.replace(self, journal_path=f"{stem}.{tag}{ext}")
+
+
+@dataclass
+class BatchFaults:
+    """What went wrong (and was absorbed) during one batch."""
+
+    retries: int = 0
+    crashes: int = 0
+    timeouts: int = 0
+    compare_failures: int = 0
+    pool_rebuilds: int = 0
+    quarantined: List[RunFailure] = field(default_factory=list)
+    resumed_runs: int = 0
+    resumed_compares: int = 0
+    stale_journal_entries: int = 0
+    degraded_serial: bool = False
+    #: Structured fault records for the telemetry run log.
+    events: List[dict] = field(default_factory=list)
+
+    def note(self, event: str, **fields: object) -> None:
+        record: Dict[str, object] = {
+            "event": event, "ts": round(time.time(), 6)}
+        record.update(fields)
+        self.events.append(record)
+
+    def counters(self) -> Dict[str, object]:
+        return {
+            "retries": self.retries,
+            "crashes": self.crashes,
+            "timeouts": self.timeouts,
+            "compare_failures": self.compare_failures,
+            "pool_rebuilds": self.pool_rebuilds,
+            "quarantined": len(self.quarantined),
+            "resumed_runs": self.resumed_runs,
+            "resumed_compares": self.resumed_compares,
+            "stale_journal_entries": self.stale_journal_entries,
+            "degraded_serial": self.degraded_serial,
+        }
+
+    @property
+    def clean(self) -> bool:
+        return not (self.retries or self.crashes or self.timeouts
+                    or self.compare_failures or self.pool_rebuilds
+                    or self.quarantined or self.stale_journal_entries)
+
+
+# ---------------------------------------------------------------------------
+# Journal
+
+
+JOURNAL_SCHEMA = "repro.regression/journal/v1"
+
+
+class JournalError(Exception):
+    """Journal does not belong to this batch (or is unreadable)."""
+
+
+def _canonical_config_text(config) -> str:
+    """``to_text()`` with the address map resolved first: elaboration
+    materialises the default map onto the config, so an unresolved and a
+    resolved copy of the same configuration must digest identically."""
+    config.resolved_map
+    return config.to_text()
+
+
+def batch_signature(configs, tests, seeds, bugs, compare_waveforms: bool,
+                    with_arbitration_checker: bool) -> str:
+    """Digest of everything that determines the batch's work list.  A
+    journal keyed to a different signature must not be replayed."""
+    import hashlib
+
+    payload = json.dumps({
+        "configs": [_canonical_config_text(config) for config in configs],
+        "tests": list(tests),
+        "seeds": list(seeds),
+        "bugs": sorted(bugs),
+        "compare_waveforms": compare_waveforms,
+        "with_arbitration_checker": with_arbitration_checker,
+    }, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def run_artifact_paths(job: RunJob) -> Dict[str, str]:
+    """The files one run job writes, keyed by role."""
+    paths: Dict[str, str] = {}
+    if job.vcd_path:
+        paths["vcd"] = job.vcd_path
+    if job.report_stem:
+        paths["report"] = job.report_stem + ".report.txt"
+        paths["coverage"] = job.report_stem + ".coverage.txt"
+    return paths
+
+
+def _encode_payload(value) -> str:
+    return base64.b64encode(
+        zlib.compress(pickle.dumps(value, protocol=4))).decode("ascii")
+
+
+def _decode_payload(text: str):
+    return pickle.loads(zlib.decompress(base64.b64decode(text)))
+
+
+class Journal:
+    """Append-only JSONL checkpoint of completed runs and comparisons.
+
+    Every entry is keyed on ``(config, test, seed, view)`` — the full
+    coordinates of one deterministic run — plus the SHA-256 digests of
+    the artifacts it wrote, so replay only trusts entries whose files
+    are still byte-for-byte what the journaled run produced.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = None
+
+    def start(self, signature: str, resume: bool) -> List[dict]:
+        """Open the journal; returns previously journaled entries when
+        resuming (validating the header), else truncates and writes a
+        fresh header."""
+        entries: List[dict] = []
+        if resume and os.path.exists(self.path):
+            entries = self._read(signature)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        else:
+            self._handle = open(self.path, "w", encoding="utf-8")
+            self._write({
+                "kind": "header", "schema": JOURNAL_SCHEMA,
+                "signature": signature,
+            })
+        return entries
+
+    def _read(self, signature: str) -> List[dict]:
+        entries: List[dict] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for index, line in enumerate(handle):
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    # A torn trailing line is exactly what an interrupt
+                    # leaves behind; everything before it is still good.
+                    continue
+                if index == 0 or record.get("kind") == "header":
+                    if (record.get("kind") != "header"
+                            or record.get("schema") != JOURNAL_SCHEMA):
+                        raise JournalError(
+                            f"{self.path!r} is not a regression journal")
+                    if record.get("signature") != signature:
+                        raise JournalError(
+                            f"journal {self.path!r} belongs to a different "
+                            "batch (configs/tests/seeds/bugs changed); "
+                            "remove it or drop --resume"
+                        )
+                    continue
+                entries.append(record)
+        if not entries and not os.path.getsize(self.path):
+            raise JournalError(f"journal {self.path!r} is empty")
+        return entries
+
+    def _write(self, record: dict) -> None:
+        if self._handle is None:
+            return
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+
+    def record_run(self, job: RunJob, result) -> None:
+        artifacts = {
+            role: file_digest(path)
+            for role, path in run_artifact_paths(job).items()
+        }
+        self._write({
+            "kind": "run",
+            "config": job.config.name, "test": job.test_name,
+            "seed": job.seed, "view": job.view,
+            "status": getattr(result, "status", "PASS"),
+            "attempt": job.attempt,
+            "artifacts": artifacts,
+            "payload": _encode_payload(result),
+        })
+
+    def record_compare(self, *, config_name: str, test_name: str, seed: int,
+                       rtl_vcd: str, bca_vcd: str, report) -> None:
+        self._write({
+            "kind": "compare",
+            "config": config_name, "test": test_name, "seed": seed,
+            "artifacts": {
+                "rtl": file_digest(rtl_vcd),
+                "bca": file_digest(bca_vcd),
+            },
+            "payload": _encode_payload(report),
+        })
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def _artifacts_current(recorded: Dict[str, str],
+                       expected_paths: Dict[str, str]) -> bool:
+    if set(recorded) != set(expected_paths):
+        return False
+    for role, digest in recorded.items():
+        path = expected_paths[role]
+        if not os.path.exists(path) or file_digest(path) != digest:
+            return False
+    return True
+
+
+def replay_journal(
+    entries: Sequence[dict],
+    jobs_by_key: Dict[RunKey, RunJob],
+) -> Tuple[Dict[RunKey, object], Dict[EntryKey, object], int]:
+    """Validate journal entries against the batch's expected artifacts.
+
+    Returns the replayable run results, the replayable alignment
+    reports, and the number of stale entries (digest mismatch, missing
+    file, undecodable payload) that will be re-executed instead.
+    """
+    key_by_names: Dict[Tuple[str, str, int, str], RunKey] = {
+        (job.config.name, job.test_name, job.seed, job.view): key
+        for key, job in jobs_by_key.items()
+    }
+    latest_runs: Dict[Tuple[str, str, int, str], dict] = {}
+    latest_compares: Dict[Tuple[str, str, int], dict] = {}
+    for record in entries:
+        if record.get("kind") == "run":
+            latest_runs[(record.get("config"), record.get("test"),
+                         record.get("seed"), record.get("view"))] = record
+        elif record.get("kind") == "compare":
+            latest_compares[(record.get("config"), record.get("test"),
+                             record.get("seed"))] = record
+    results: Dict[RunKey, object] = {}
+    alignments: Dict[EntryKey, object] = {}
+    stale = 0
+    for names, record in latest_runs.items():
+        key = key_by_names.get(names)
+        if key is None:
+            stale += 1
+            continue
+        job = jobs_by_key[key]
+        if not _artifacts_current(record.get("artifacts", {}),
+                                  run_artifact_paths(job)):
+            stale += 1
+            continue
+        try:
+            results[key] = _decode_payload(record["payload"])
+        except Exception:
+            stale += 1
+    for names, record in latest_compares.items():
+        rtl_key = key_by_names.get(names + ("rtl",))
+        bca_key = key_by_names.get(names + ("bca",))
+        if rtl_key is None or bca_key is None:
+            stale += 1
+            continue
+        rtl_vcd = jobs_by_key[rtl_key].vcd_path
+        bca_vcd = jobs_by_key[bca_key].vcd_path
+        if not rtl_vcd or not bca_vcd or not _artifacts_current(
+            record.get("artifacts", {}), {"rtl": rtl_vcd, "bca": bca_vcd}
+        ):
+            stale += 1
+            continue
+        try:
+            alignments[rtl_key[:3]] = _decode_payload(record["payload"])
+        except Exception:
+            stale += 1
+    return results, alignments, stale
+
+
+# ---------------------------------------------------------------------------
+# Child-process execution (serial-with-deadline and degraded modes)
+
+
+def _child_entry(conn, fn, job) -> None:
+    try:
+        conn.send(fn(job))
+    finally:
+        conn.close()
+
+
+def _execute_in_child(fn, job, timeout: Optional[float]):
+    """Run one guarded job in a dedicated child process.
+
+    Gives the serial path the same isolation a pool worker has — a hard
+    crash or hang kills the child, never the batch — and makes deadlines
+    enforceable with a plain ``kill()``.  Returns the guarded outcome
+    tuple, ``("timeout", None)`` or ``("died", exitcode)``.
+    """
+    ctx = multiprocessing.get_context()
+    recv, send = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=_child_entry, args=(send, fn, job))
+    proc.start()
+    send.close()
+    deadline = time.monotonic() + timeout if timeout else None
+    outcome = None
+    try:
+        while True:
+            if recv.poll(_TICK):
+                try:
+                    outcome = recv.recv()
+                except EOFError:
+                    outcome = None
+                break
+            if not proc.is_alive():
+                if recv.poll(0):
+                    try:
+                        outcome = recv.recv()
+                    except EOFError:
+                        outcome = None
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                proc.kill()
+                proc.join(5)
+                return ("timeout", None)
+        proc.join(5)
+    finally:
+        recv.close()
+    if outcome is None:
+        return ("died", proc.exitcode)
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# The resilient batch executor
+
+
+class _Task:
+    """One schedulable unit (a run or a comparison) plus its history."""
+
+    __slots__ = ("kind", "key", "job", "failures")
+
+    def __init__(self, kind: str, key: tuple, job) -> None:
+        self.kind = kind          # "run" | "compare"
+        self.key = key            # RunKey | EntryKey
+        self.job = job
+        self.failures: List[RunFailure] = []
+
+    @property
+    def names(self) -> Dict[str, object]:
+        if self.kind == "run":
+            return {"config": self.job.config.name,
+                    "test": self.job.test_name, "seed": self.job.seed,
+                    "view": self.job.view}
+        return {"config": self.job.config_name, "test": self.job.test_name,
+                "seed": self.job.seed, "view": "compare"}
+
+
+class ResilientBatchExecutor:
+    """Schedules a batch's run/compare jobs with crash isolation,
+    deadlines, retry/quarantine and journaling.
+
+    ``jobs == 1`` executes inline (or in kill-able child processes when
+    a deadline is set); ``jobs > 1`` drives a process pool with a
+    watchdog.  Either way the results feed the same deterministic
+    assembly path, so fault-free output is byte-identical across modes.
+    """
+
+    def __init__(
+        self,
+        jobs_by_key: Dict[RunKey, RunJob],
+        *,
+        jobs: int,
+        compare_waveforms: bool,
+        telemetry: bool = False,
+        config: Optional[ResilienceConfig] = None,
+        journal: Optional[Journal] = None,
+        resumed_results: Optional[Dict[RunKey, object]] = None,
+        resumed_alignments: Optional[Dict[EntryKey, object]] = None,
+        tracer=None,
+    ) -> None:
+        self.jobs_by_key = jobs_by_key
+        self.jobs = jobs
+        self.compare_waveforms = compare_waveforms
+        self.telemetry = telemetry
+        self.config = config if config is not None else ResilienceConfig()
+        self.journal = journal
+        self.tracer = tracer
+        self.faults = BatchFaults()
+        self.results: Dict[RunKey, object] = dict(resumed_results or {})
+        self.alignments: Dict[EntryKey, object] = \
+            dict(resumed_alignments or {})
+        self.compare_failures: Dict[EntryKey, RunFailure] = {}
+        self.compare_telemetry: Dict[EntryKey, object] = {}
+        self._entry_order: List[EntryKey] = []
+        seen = set()
+        for key in jobs_by_key:
+            entry_key = key[:3]
+            if entry_key not in seen:
+                seen.add(entry_key)
+                self._entry_order.append(entry_key)
+        self._compared = set(self.alignments)
+        self._degraded = False
+        self._task_seq = 0
+
+    # -- shared bookkeeping -------------------------------------------------
+
+    def _span(self, name: str, **args):
+        if self.tracer is not None:
+            return self.tracer.span(name, **args)
+        import contextlib
+
+        return contextlib.nullcontext()
+
+    def _job_for_attempt(self, task: _Task):
+        attempt = len(task.failures)
+        changes: Dict[str, object] = {}
+        if task.job.attempt != attempt:
+            changes["attempt"] = attempt
+        if self.telemetry and attempt:
+            changes["submitted_at"] = time.time()
+        if changes:
+            task.job = dataclasses.replace(task.job, **changes)
+        return task.job
+
+    def _register_failure(self, task: _Task,
+                          failure: RunFailure) -> Optional[float]:
+        """Record one failed attempt.  Returns the backoff delay before
+        the retry, or ``None`` when the job is terminal (quarantined or
+        out of budget)."""
+        if failure.stage == "compare":
+            self.faults.compare_failures += 1
+        elif failure.kind == "TIMEOUT":
+            self.faults.timeouts += 1
+        else:
+            self.faults.crashes += 1
+        task.failures.append(failure)
+        n_failed = len(task.failures)
+        if n_failed <= self.config.max_retries:
+            self.faults.retries += 1
+            delay = min(_MAX_BACKOFF,
+                        self.config.backoff * (2 ** (n_failed - 1)))
+            self.faults.note("job.retry", **task.names,
+                             attempt=failure.attempt, kind=failure.kind,
+                             error=failure.describe(),
+                             backoff_seconds=round(delay, 3))
+            return delay
+        history = tuple(
+            f"attempt {f.attempt}: {f.describe()}" for f in task.failures
+        )
+        terminal = dataclasses.replace(
+            task.failures[-1],
+            quarantined=n_failed > 1,
+            history=history,
+        )
+        if task.kind == "run":
+            self.results[task.key] = terminal
+        else:
+            self.compare_failures[task.key] = terminal
+        if terminal.quarantined:
+            self.faults.quarantined.append(terminal)
+            self.faults.note("job.quarantined", **task.names,
+                             attempts=n_failed, error=terminal.describe())
+        else:
+            self.faults.note("job.failed", **task.names,
+                             kind=terminal.kind, error=terminal.describe())
+        return None
+
+    def _complete(self, task: _Task, payload) -> None:
+        if task.kind == "run":
+            self.results[task.key] = payload
+            if self.journal is not None:
+                self.journal.record_run(task.job, payload)
+        else:
+            report, tele = payload
+            self.alignments[task.key] = report
+            if tele is not None:
+                self.compare_telemetry[task.key] = tele
+            if self.journal is not None:
+                self.journal.record_compare(
+                    config_name=task.job.config_name,
+                    test_name=task.job.test_name, seed=task.job.seed,
+                    rtl_vcd=task.job.rtl_vcd, bca_vcd=task.job.bca_vcd,
+                    report=report,
+                )
+        if task.failures:
+            self.faults.note("job.recovered", **task.names,
+                             attempts=len(task.failures) + 1)
+
+    def _compare_task(self, entry_key: EntryKey) -> Optional[_Task]:
+        """A compare task for ``entry_key`` if it is due: comparison
+        wanted, both views succeeded with dumps, not yet compared."""
+        if not self.compare_waveforms or entry_key in self._compared:
+            return None
+        rtl = self.results.get(entry_key + ("rtl",))
+        bca = self.results.get(entry_key + ("bca",))
+        if isinstance(rtl, RunFailure) or isinstance(bca, RunFailure):
+            self._compared.add(entry_key)
+            return None
+        if rtl is None or bca is None:
+            return None
+        rtl_job = self.jobs_by_key[entry_key + ("rtl",)]
+        bca_job = self.jobs_by_key[entry_key + ("bca",)]
+        if not rtl_job.vcd_path or not bca_job.vcd_path:
+            self._compared.add(entry_key)
+            return None
+        self._compared.add(entry_key)
+        job = CompareJob(
+            rtl_vcd=rtl_job.vcd_path, bca_vcd=bca_job.vcd_path,
+            config_name=rtl_job.config.name, test_name=entry_key[1],
+            seed=entry_key[2], telemetry=self.telemetry,
+            submitted_at=time.time() if self.telemetry else None,
+        )
+        return _Task("compare", entry_key, job)
+
+    @staticmethod
+    def _worker_fn(task: _Task):
+        return guarded_execute_run if task.kind == "run" \
+            else guarded_execute_compare
+
+    def _pool_crash_failure(self, task: _Task) -> RunFailure:
+        names = task.names
+        return RunFailure(
+            config_name=str(names["config"]), test_name=str(names["test"]),
+            seed=int(names["seed"]), view=str(names["view"]),
+            stage="run" if task.kind == "run" else "compare",
+            kind="ERROR", exc_type="WorkerDied",
+            message="worker process died while executing this job "
+                    "(process pool crashed)",
+            attempt=task.job.attempt,
+        )
+
+    def _timeout_failure(self, task: _Task) -> RunFailure:
+        names = task.names
+        return RunFailure(
+            config_name=str(names["config"]), test_name=str(names["test"]),
+            seed=int(names["seed"]), view=str(names["view"]),
+            stage="run" if task.kind == "run" else "compare",
+            kind="TIMEOUT", exc_type="WatchdogTimeout",
+            message=f"exceeded the run deadline of "
+                    f"{self.config.run_timeout}s and was killed",
+            attempt=task.job.attempt,
+        )
+
+    # -- execution ----------------------------------------------------------
+
+    def execute(self):
+        if self.jobs > 1:
+            self._execute_pool()
+        else:
+            self._execute_serial()
+        return (self.results, self.alignments, self.compare_telemetry,
+                self.compare_failures, self.faults)
+
+    # -- serial (and degraded) mode ----------------------------------------
+
+    def _execute_serial(self, isolate: bool = False) -> None:
+        isolate = isolate or self.config.run_timeout is not None
+        for entry_key in self._entry_order:
+            for view in ("rtl", "bca"):
+                key = entry_key + (view,)
+                if key in self.results:
+                    continue
+                self._run_task_blocking(
+                    _Task("run", key, self.jobs_by_key[key]), isolate)
+            task = self._compare_task(entry_key)
+            if task is not None:
+                self._run_task_blocking(task, isolate)
+
+    def _run_task_blocking(self, task: _Task, isolate: bool) -> None:
+        fn = self._worker_fn(task)
+        while True:
+            job = self._job_for_attempt(task)
+            if isolate:
+                outcome = _execute_in_child(fn, job, self.config.run_timeout)
+            else:
+                outcome = fn(job)
+            status, payload = outcome
+            if status == "ok":
+                self._complete(task, payload)
+                return
+            if status == "timeout":
+                failure = self._timeout_failure(task)
+            elif status == "died":
+                failure = dataclasses.replace(
+                    self._pool_crash_failure(task),
+                    message="worker child process died "
+                            f"(exit code {payload})",
+                )
+            else:
+                failure = payload
+            delay = self._register_failure(task, failure)
+            if delay is None:
+                return
+            time.sleep(delay)
+
+    # -- pool mode ----------------------------------------------------------
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.jobs)
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        processes = getattr(pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            try:
+                proc.kill()
+            except Exception:
+                pass
+        pool.shutdown(wait=False)
+
+    def _execute_pool(self) -> None:
+        ready: Deque[_Task] = deque()
+        for key, job in self.jobs_by_key.items():
+            if key not in self.results:
+                ready.append(_Task("run", key, job))
+        for entry_key in self._entry_order:
+            task = self._compare_task(entry_key)
+            if task is not None:
+                ready.append(task)
+        backoff: List[Tuple[float, int, _Task]] = []
+        inflight: Dict[object, _Task] = {}
+        started: Dict[object, float] = {}
+        broken_strikes = 0
+        pool = self._new_pool()
+        try:
+            while ready or backoff or inflight:
+                now = time.monotonic()
+                while backoff and backoff[0][0] <= now:
+                    ready.append(heapq.heappop(backoff)[2])
+                # Submit whatever is due.
+                submit_failed = False
+                while ready and not self._degraded:
+                    task = ready[0]
+                    job = self._job_for_attempt(task)
+                    try:
+                        future = pool.submit(self._worker_fn(task), job)
+                    except Exception:
+                        # Pool broke between completions; recover below.
+                        submit_failed = True
+                        break
+                    ready.popleft()
+                    inflight[future] = task
+                if self._degraded:
+                    break
+                if not inflight:
+                    if submit_failed:
+                        pool, broken_strikes = self._recover_broken_pool(
+                            pool, inflight, started, ready, backoff,
+                            broken_strikes)
+                        continue
+                    if backoff:
+                        time.sleep(
+                            max(0.0, min(backoff[0][0] - now, 0.25)))
+                    continue
+                done, _ = wait(set(inflight), timeout=_TICK,
+                               return_when=FIRST_COMPLETED)
+                now = time.monotonic()
+                for future in inflight:
+                    if future not in started and future.running():
+                        started[future] = now
+                pool_broke = submit_failed
+                for future in done:
+                    task = inflight.pop(future)
+                    was_started = started.pop(future, None) is not None
+                    try:
+                        outcome = future.result()
+                    except Exception:
+                        # BrokenProcessPool (or kin): a worker died
+                        # without returning.  In-flight jobs consume an
+                        # attempt; queued ones resubmit freely.
+                        pool_broke = True
+                        if was_started:
+                            delay = self._register_failure(
+                                task, self._pool_crash_failure(task))
+                            if delay is not None:
+                                self._push_backoff(backoff, now + delay,
+                                                   task)
+                        else:
+                            ready.append(task)
+                        continue
+                    self._handle_outcome(task, outcome, ready, backoff, now)
+                if pool_broke:
+                    pool, broken_strikes = self._recover_broken_pool(
+                        pool, inflight, started, ready, backoff,
+                        broken_strikes)
+                    continue
+                if self.config.run_timeout is not None:
+                    pool = self._enforce_deadlines(pool, inflight, started,
+                                                   ready, backoff, now)
+            if self._degraded:
+                self._drain_degraded(ready, backoff)
+        except BaseException:
+            self._kill_pool(pool)
+            raise
+        else:
+            pool.shutdown(wait=False)
+
+    def _push_backoff(self, backoff, due: float, task: _Task) -> None:
+        self._task_seq += 1
+        heapq.heappush(backoff, (due, self._task_seq, task))
+
+    def _handle_outcome(self, task: _Task, outcome, ready, backoff,
+                        now: float) -> None:
+        status, payload = outcome
+        if status == "ok":
+            self._complete(task, payload)
+            if task.kind == "run":
+                compare = self._compare_task(task.key[:3])
+                if compare is not None:
+                    ready.append(compare)
+            return
+        delay = self._register_failure(task, payload)
+        if delay is not None:
+            self._push_backoff(backoff, now + delay, task)
+
+    def _recover_broken_pool(self, pool, inflight, started, ready, backoff,
+                             broken_strikes: int):
+        """The pool died unexpectedly: charge started jobs one attempt,
+        free-requeue queued ones, and rebuild (or degrade to serial)."""
+        now = time.monotonic()
+        for future, task in list(inflight.items()):
+            was_started = started.pop(future, None) is not None
+            if was_started:
+                delay = self._register_failure(
+                    task, self._pool_crash_failure(task))
+                if delay is not None:
+                    self._push_backoff(backoff, now + delay, task)
+            else:
+                ready.append(task)
+        inflight.clear()
+        started.clear()
+        self._kill_pool(pool)
+        broken_strikes += 1
+        self.faults.pool_rebuilds += 1
+        if broken_strikes > self.config.max_pool_rebuilds:
+            self._degraded = True
+            self.faults.degraded_serial = True
+            self.faults.note("pool.degraded",
+                             strikes=broken_strikes,
+                             detail="process pool broke repeatedly; "
+                                    "finishing the batch serially in "
+                                    "isolated child processes")
+            return pool, broken_strikes
+        self.faults.note("pool.rebuilt", cause="crash",
+                         strikes=broken_strikes)
+        with self._span("pool.rebuild", cause="crash"):
+            pool = self._new_pool()
+        return pool, broken_strikes
+
+    def _enforce_deadlines(self, pool, inflight, started, ready, backoff,
+                           now: float):
+        """Kill jobs past the deadline.  Returns the (possibly rebuilt)
+        pool; the hung worker can only be stopped by killing the whole
+        pool, so innocent in-flight jobs are requeued at no cost."""
+        timeout = self.config.run_timeout
+        timed = [future for future, t0 in started.items()
+                 if future in inflight and now - t0 > timeout]
+        if not timed:
+            return pool
+        for future in timed:
+            task = inflight.pop(future)
+            started.pop(future, None)
+            delay = self._register_failure(task, self._timeout_failure(task))
+            if delay is not None:
+                self._push_backoff(backoff, now + delay, task)
+        for future, task in list(inflight.items()):
+            started.pop(future, None)
+            ready.append(task)
+        inflight.clear()
+        started.clear()
+        self._kill_pool(pool)
+        self.faults.pool_rebuilds += 1
+        self.faults.note("pool.rebuilt", cause="timeout")
+        with self._span("pool.rebuild", cause="timeout"):
+            return self._new_pool()
+
+    def _drain_degraded(self, ready, backoff) -> None:
+        """Finish the remaining work serially in isolated children."""
+        leftovers: List[_Task] = list(ready)
+        leftovers.extend(task for _, _, task in sorted(backoff))
+        ready.clear()
+        backoff.clear()
+        for task in leftovers:
+            self._run_task_blocking(task, True)
+        # Comparisons whose runs only now completed.
+        for entry_key in self._entry_order:
+            task = self._compare_task(entry_key)
+            if task is not None:
+                self._run_task_blocking(task, True)

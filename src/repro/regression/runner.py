@@ -25,14 +25,33 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..analyzer import AlignmentReport, compare_vcds
 from ..catg.coverage import CoverageModel, build_node_coverage
 from ..catg.env import RunResult
+from ..ioutil import atomic_write
 from ..stbus import NodeConfig
 from ..telemetry import BatchTelemetry, TelemetryConfig
+from .resilience import (
+    Journal,
+    ResilienceConfig,
+    ResilientBatchExecutor,
+    RunFailure,
+    batch_signature,
+    replay_journal,
+)
 from .testcases import TESTCASES
+
+#: Failure-status precedence when an entry carries more than one fault.
+_FAULT_PRIORITY = ("QUARANTINED", "TIMEOUT", "ERROR")
 
 
 @dataclass
 class TestEntry:
-    """One (config, test, seed): both view runs plus the comparison."""
+    """One (config, test, seed): both view runs plus the comparison.
+
+    ``rtl``/``bca`` are normally :class:`~repro.catg.env.RunResult`; when
+    the resilience layer absorbed an infrastructure fault (worker crash,
+    watchdog timeout, quarantine) the affected view holds a
+    :class:`~repro.regression.resilience.RunFailure` instead, and a
+    comparison that itself failed is recorded in ``compare_failure``.
+    """
 
     config_name: str
     test_name: str
@@ -40,31 +59,87 @@ class TestEntry:
     rtl: RunResult
     bca: RunResult
     alignment: Optional[AlignmentReport] = None
+    compare_failure: Optional[RunFailure] = None
 
     @property
     def both_passed(self) -> bool:
         return self.rtl.passed and self.bca.passed
 
     @property
+    def has_faults(self) -> bool:
+        """True when an infrastructure fault (not a checker failure)
+        touched this entry."""
+        return (
+            isinstance(self.rtl, RunFailure)
+            or isinstance(self.bca, RunFailure)
+            or self.compare_failure is not None
+        )
+
+    @property
+    def failures(self) -> List[RunFailure]:
+        out = [view for view in (self.rtl, self.bca)
+               if isinstance(view, RunFailure)]
+        if self.compare_failure is not None:
+            out.append(self.compare_failure)
+        return out
+
+    @property
+    def status(self) -> str:
+        """``PASS``/``FAIL`` for fault-free entries (checker verdict),
+        else the most severe fault status."""
+        faults = self.failures
+        if not faults:
+            return "PASS" if self.both_passed else "FAIL"
+        statuses = {failure.status for failure in faults}
+        for status in _FAULT_PRIORITY:
+            if status in statuses:
+                return status
+        return "ERROR"
+
+    @property
     def coverage_equal(self) -> bool:
         """The paper's requirement: same tests => equal functional coverage."""
+        if isinstance(self.rtl, RunFailure) or isinstance(self.bca, RunFailure):
+            return False
         return (
             self.rtl.coverage.hit_signature()
             == self.bca.coverage.hit_signature()
         )
 
+    @staticmethod
+    def _view_text(view) -> str:
+        if isinstance(view, RunFailure):
+            return view.status
+        return "ok" if view.passed else "FAIL"
+
     def summary(self) -> str:
-        align = (
-            f" align={self.alignment.min_rate * 100:.2f}%"
-            if self.alignment is not None else ""
-        )
-        status = "PASS" if self.both_passed else "FAIL"
-        return (
-            f"{status} {self.config_name} {self.test_name} seed={self.seed}"
-            f" rtl={'ok' if self.rtl.passed else 'FAIL'}"
-            f" bca={'ok' if self.bca.passed else 'FAIL'}"
-            f" cov_eq={'yes' if self.coverage_equal else 'NO'}{align}"
-        )
+        if not self.has_faults:
+            align = (
+                f" align={self.alignment.min_rate * 100:.2f}%"
+                if self.alignment is not None else ""
+            )
+            status = "PASS" if self.both_passed else "FAIL"
+            return (
+                f"{status} {self.config_name} {self.test_name} "
+                f"seed={self.seed}"
+                f" rtl={'ok' if self.rtl.passed else 'FAIL'}"
+                f" bca={'ok' if self.bca.passed else 'FAIL'}"
+                f" cov_eq={'yes' if self.coverage_equal else 'NO'}{align}"
+            )
+        parts = [
+            f"{self.status} {self.config_name} {self.test_name} "
+            f"seed={self.seed}",
+            f"rtl={self._view_text(self.rtl)}",
+            f"bca={self._view_text(self.bca)}",
+        ]
+        if not isinstance(self.rtl, RunFailure) \
+                and not isinstance(self.bca, RunFailure):
+            parts.append(f"cov_eq={'yes' if self.coverage_equal else 'NO'}")
+        if self.compare_failure is not None:
+            parts.append(f"align={self.compare_failure.status}")
+        elif self.alignment is not None:
+            parts.append(f"align={self.alignment.min_rate * 100:.2f}%")
+        return " ".join(parts)
 
 
 @dataclass
@@ -98,13 +173,27 @@ class ConfigReport:
         return min(rates) if rates else 1.0
 
     @property
+    def has_faults(self) -> bool:
+        return any(entry.has_faults for entry in self.entries)
+
+    def quarantined_failures(self) -> List["RunFailure"]:
+        return [
+            failure
+            for entry in self.entries
+            for failure in entry.failures
+            if failure.quarantined
+        ]
+
+    @property
     def signed_off(self) -> bool:
         """The flow's BCA sign-off: everything green, coverage full, every
-        port of every run at or above the 99% alignment threshold."""
+        port of every run at or above the 99% alignment threshold — and
+        no run lost to an infrastructure fault."""
         from ..analyzer import SIGNOFF_THRESHOLD
 
         return (
-            self.all_passed
+            not self.has_faults
+            and self.all_passed
             and self.full_functional_coverage
             and self.min_alignment >= SIGNOFF_THRESHOLD
             and all(entry.coverage_equal for entry in self.entries)
@@ -124,6 +213,16 @@ class ConfigReport:
         lines.append(f"  min port alignment: {self.min_alignment * 100:.2f}%")
         for entry in self.entries:
             lines.append("  " + entry.summary())
+        quarantined = self.quarantined_failures()
+        if quarantined:
+            lines.append(f"  quarantined: {len(quarantined)} job(s)")
+            for failure in quarantined:
+                lines.append(
+                    f"    {failure.config_name} {failure.test_name} "
+                    f"seed={failure.seed} view={failure.view}"
+                )
+                for item in failure.history:
+                    lines.append(f"      {item}")
         return "\n".join(lines) + "\n"
 
 
@@ -193,6 +292,13 @@ class RegressionRunner:
         counters and structured log records, and :meth:`run` exports the
         metrics/trace/log side-channel files.  The report artifacts stay
         byte-identical with or without telemetry.
+    resilience:
+        Optional :class:`~repro.regression.resilience.ResilienceConfig`
+        tuning the fault-tolerance layer (per-run deadline, retry
+        budget, checkpoint journal).  The default policy is always
+        active — a crashed worker yields an ``ERROR`` entry instead of
+        aborting the batch — and a fault-free batch stays byte-identical
+        to an unguarded one.
     """
 
     def __init__(
@@ -206,6 +312,7 @@ class RegressionRunner:
         with_arbitration_checker: bool = True,
         jobs: int = 1,
         telemetry: Optional[TelemetryConfig] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ):
         self.configs = list(configs)
         self.tests = list(tests) if tests is not None else list(TESTCASES)
@@ -222,6 +329,9 @@ class RegressionRunner:
         self.jobs = jobs
         self.telemetry = (
             telemetry if telemetry is not None else TelemetryConfig()
+        )
+        self.resilience = (
+            resilience if resilience is not None else ResilienceConfig()
         )
         if workdir:
             os.makedirs(workdir, exist_ok=True)
@@ -282,53 +392,68 @@ class RegressionRunner:
             for seed in self.seeds
         ]
 
-    def _execute_serial(self):
-        from .parallel import CompareJob, execute_compare_job, execute_run_job
-
-        telemetry = self.telemetry.enabled
-        results = {}
-        alignments = {}
-        compare_telemetry = {}
-        for ci, test_name, seed in self._entry_keys():
-            config = self.configs[ci]
-            for view in ("rtl", "bca"):
-                job = self._make_job(config, test_name, seed, view)
-                results[(ci, test_name, seed, view)] = execute_run_job(job)
-            rtl_vcd = self._vcd_path(config, test_name, seed, "rtl")
-            bca_vcd = self._vcd_path(config, test_name, seed, "bca")
-            if self.compare_waveforms and rtl_vcd and bca_vcd:
-                # "It can later proceed to alignment comparison activity,
-                # if all checkers passed" — compare unconditionally here
-                # so the benches can also report rates for failing
-                # (buggy) runs.
-                report, payload = execute_compare_job(CompareJob(
-                    rtl_vcd=rtl_vcd, bca_vcd=bca_vcd,
-                    config_name=config.name, test_name=test_name, seed=seed,
-                    telemetry=telemetry,
-                    submitted_at=time.time() if telemetry else None,
-                ))
-                alignments[(ci, test_name, seed)] = report
-                if payload is not None:
-                    compare_telemetry[(ci, test_name, seed)] = payload
-        return results, alignments, compare_telemetry
-
-    def _execute_parallel(self):
-        from .parallel import execute_batch
-
-        entry_keys = self._entry_keys()
-        jobs_by_key = {
+    def _build_jobs(self):
+        """Every run job of the batch, in deterministic serial order
+        (entry by entry, rtl before bca)."""
+        return {
             (ci, test_name, seed, view):
                 self._make_job(self.configs[ci], test_name, seed, view)
-            for ci, test_name, seed in entry_keys
+            for ci, test_name, seed in self._entry_keys()
             for view in ("rtl", "bca")
         }
-        return execute_batch(
-            jobs_by_key,
-            jobs=self.jobs, compare_waveforms=self.compare_waveforms,
-            telemetry=self.telemetry.enabled,
-        )
 
-    def _assemble(self, results, alignments) -> RegressionReport:
+    def _open_journal(self, jobs_by_key, batch):
+        """Open/replay the checkpoint journal if one is configured.
+        Returns (journal, resumed_results, resumed_alignments, stale)."""
+        if not self.resilience.journal_path:
+            return None, {}, {}, 0
+        journal = Journal(self.resilience.journal_path)
+        signature = batch_signature(
+            self.configs, self.tests, self.seeds, self.bca_bugs,
+            self.compare_waveforms, self.with_arbitration_checker,
+        )
+        with batch.span("journal.open", resume=self.resilience.resume):
+            entries = journal.start(signature, self.resilience.resume)
+        if not entries:
+            return journal, {}, {}, 0
+        with batch.span("journal.replay", entries=len(entries)):
+            results, alignments, stale = replay_journal(entries, jobs_by_key)
+        return journal, results, alignments, stale
+
+    def _execute(self, batch):
+        """Run the whole batch through the resilient executor (serial
+        inline for ``jobs=1``, process pool otherwise)."""
+        jobs_by_key = self._build_jobs()
+        journal, resumed_results, resumed_alignments, stale = \
+            self._open_journal(jobs_by_key, batch)
+        executor = ResilientBatchExecutor(
+            jobs_by_key,
+            jobs=self.jobs,
+            compare_waveforms=self.compare_waveforms,
+            telemetry=self.telemetry.enabled,
+            config=self.resilience,
+            journal=journal,
+            resumed_results=resumed_results,
+            resumed_alignments=resumed_alignments,
+            tracer=batch,
+        )
+        executor.faults.resumed_runs = len(resumed_results)
+        executor.faults.resumed_compares = len(resumed_alignments)
+        executor.faults.stale_journal_entries = stale
+        if resumed_results or stale:
+            executor.faults.note(
+                "journal.replayed", runs=len(resumed_results),
+                compares=len(resumed_alignments), stale=stale,
+            )
+        try:
+            return executor.execute()
+        finally:
+            if journal is not None:
+                journal.close()
+
+    def _assemble(self, results, alignments,
+                  compare_failures=None) -> RegressionReport:
+        compare_failures = compare_failures or {}
         report = RegressionReport()
         for ci, config in enumerate(self.configs):
             config_report = ConfigReport(config)
@@ -341,15 +466,19 @@ class RegressionRunner:
                         results[(ci, test_name, seed, "rtl")],
                         results[(ci, test_name, seed, "bca")],
                         alignment=alignments.get((ci, test_name, seed)),
+                        compare_failure=compare_failures.get(
+                            (ci, test_name, seed)),
                     )
                     config_report.entries.append(entry)
-                    config_report.rtl_coverage.merge(entry.rtl.coverage)
-                    config_report.bca_coverage.merge(entry.bca.coverage)
+                    if not isinstance(entry.rtl, RunFailure):
+                        config_report.rtl_coverage.merge(entry.rtl.coverage)
+                    if not isinstance(entry.bca, RunFailure):
+                        config_report.bca_coverage.merge(entry.bca.coverage)
             if self.workdir:
                 path = os.path.join(
                     self.workdir, f"{config.name}__report.txt"
                 )
-                with open(path, "w", encoding="utf-8") as handle:
+                with atomic_write(path) as handle:
                     handle.write(config_report.render())
                     handle.write("\n")
                     handle.write(config_report.rtl_coverage.render())
@@ -378,28 +507,25 @@ class RegressionRunner:
             bca_bugs=self.bca_bugs,
             with_arbitration_checker=self.with_arbitration_checker,
             jobs=self.jobs, telemetry=self.telemetry,
+            resilience=self.resilience,
         )
         return sub.run().configs[0]
 
     def run(self) -> RegressionReport:
         batch = BatchTelemetry(self.telemetry, jobs=self.jobs)
         with batch.span("batch.execute", jobs=self.jobs):
-            if self.jobs > 1:
-                results, alignments, compare_telemetry = \
-                    self._execute_parallel()
-            else:
-                results, alignments, compare_telemetry = \
-                    self._execute_serial()
+            (results, alignments, compare_telemetry, compare_failures,
+             faults) = self._execute(batch)
         with batch.span("batch.assemble"):
-            report = self._assemble(results, alignments)
+            report = self._assemble(results, alignments, compare_failures)
         report.wall_seconds = batch.stop()
         if self.workdir:
             path = os.path.join(self.workdir, "regression_summary.txt")
-            with open(path, "w", encoding="utf-8") as handle:
+            with atomic_write(path) as handle:
                 handle.write(report.render())
         batch.export(
             report=report, results=results, alignments=alignments,
             compare_telemetry=compare_telemetry, configs=self.configs,
-            tests=self.tests, seeds=self.seeds,
+            tests=self.tests, seeds=self.seeds, faults=faults,
         )
         return report

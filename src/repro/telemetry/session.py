@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..ioutil import TMP_SUFFIX, atomic_write
 from .metrics import MetricRegistry, NULL_REGISTRY, merge_histogram_snapshots
 from .runlog import NULL_LOG, RunLogger
 from .trace import (
@@ -209,8 +210,15 @@ class BatchTelemetry:
         configs,
         tests,
         seeds,
+        faults=None,
     ) -> None:
-        """Write metrics/trace/log side-channel files (no-op if disabled)."""
+        """Write metrics/trace/log side-channel files (no-op if disabled).
+
+        ``faults`` is the batch's
+        :class:`~repro.regression.resilience.BatchFaults` accounting (or
+        ``None``): its counters land in the metrics ``batch.faults``
+        section and its structured events in the run log.
+        """
         if not self.enabled:
             return
         wall = self.stop()
@@ -229,7 +237,7 @@ class BatchTelemetry:
         if self.config.metrics_out:
             self._write_metrics(
                 report, wall, run_keys, entry_keys, results, payloads,
-                alignments, compare_telemetry, configs,
+                alignments, compare_telemetry, configs, faults,
             )
         if self.config.trace_out:
             events = list(self.trace.events)
@@ -241,15 +249,17 @@ class BatchTelemetry:
                 payload = compare_telemetry.get(key)
                 if payload is not None:
                     events.extend(payload.events)
+            tmp = self.config.trace_out + TMP_SUFFIX
             write_chrome_trace(
-                self.config.trace_out, events,
+                tmp, events,
                 lanes=assign_lanes(events, main_pid=self.trace.pid),
                 process_name="repro regression batch",
             )
+            os.replace(tmp, self.config.trace_out)
         if self.config.log_out:
             self._write_log(
                 report, wall, run_keys, entry_keys, payloads,
-                compare_telemetry, configs, tests, seeds,
+                compare_telemetry, configs, tests, seeds, faults,
             )
 
     def _worker_lanes(
@@ -289,7 +299,7 @@ class BatchTelemetry:
 
     def _write_metrics(self, report, wall, run_keys, entry_keys, results,
                        payloads, alignments, compare_telemetry,
-                       configs) -> None:
+                       configs, faults=None) -> None:
         import json
 
         kernel_totals: Dict[str, int] = {}
@@ -299,6 +309,15 @@ class BatchTelemetry:
             ci, test, seed, view = key
             result = results.get(key)
             if result is None:
+                continue
+            if not hasattr(result, "kernel_stats"):
+                # A RunFailure stand-in from the resilience layer: the
+                # run never completed, so there is nothing to roll up.
+                runs.append({
+                    "config": configs[ci].name, "test": test, "seed": seed,
+                    "view": view, "status": result.status,
+                    "error": result.describe(),
+                })
                 continue
             for name, value in result.kernel_stats.items():
                 kernel_totals[name] = kernel_totals.get(name, 0) + value
@@ -371,13 +390,17 @@ class BatchTelemetry:
             "compares": compares,
             "histograms": histograms,
         }
-        with open(self.config.metrics_out, "w", encoding="utf-8") as handle:
+        if faults is not None:
+            payload_out["batch"]["faults"] = faults.counters()
+        with atomic_write(self.config.metrics_out) as handle:
             json.dump(payload_out, handle, indent=1)
             handle.write("\n")
 
     def _write_log(self, report, wall, run_keys, entry_keys, payloads,
-                   compare_telemetry, configs, tests, seeds) -> None:
-        logger = RunLogger(path=self.config.log_out)
+                   compare_telemetry, configs, tests, seeds,
+                   faults=None) -> None:
+        tmp = self.config.log_out + TMP_SUFFIX
+        logger = RunLogger(path=tmp)
         try:
             logger.log(
                 "batch.start",
@@ -396,6 +419,9 @@ class BatchTelemetry:
                 if payload is not None:
                     for record in payload.records:
                         logger.write_record(record)
+            if faults is not None:
+                for event in faults.events:
+                    logger.write_record(dict(event))
             logger.log(
                 "batch.complete",
                 n_runs=report.n_runs,
@@ -405,3 +431,4 @@ class BatchTelemetry:
             )
         finally:
             logger.close()
+        os.replace(tmp, self.config.log_out)

@@ -13,8 +13,10 @@ sections so third-party viewers show the same hierarchy the testbench has.
 from __future__ import annotations
 
 import io
+import os
 from typing import Dict, List, Optional, Sequence, Set, TextIO, Union
 
+from ..ioutil import TMP_SUFFIX
 from ..kernel.signal import Signal
 from ..kernel.simulator import Tracer
 
@@ -81,8 +83,14 @@ class VcdWriter(Tracer):
         if timescale_ns < 1:
             raise ValueError("timescale_ns must be >= 1")
         self._own_stream = isinstance(target, str)
+        # When the writer owns the file it stages into a sibling temp
+        # file and atomically renames in finish(): a run killed mid-dump
+        # leaves no half-written VCD behind for the analyzer (or a
+        # regression --resume) to trust.
+        self._final_path: Optional[str] = target if self._own_stream else None
         self._out: TextIO = (
-            open(target, "w", encoding="ascii") if isinstance(target, str) else target
+            open(target + TMP_SUFFIX, "w", encoding="ascii")
+            if isinstance(target, str) else target
         )
         self.timescale_ns = timescale_ns
         self._signals: List[Signal] = []
@@ -138,6 +146,7 @@ class VcdWriter(Tracer):
         self._flush()
         if self._own_stream:
             self._out.close()
+            os.replace(self._final_path + TMP_SUFFIX, self._final_path)
         else:
             self._out.flush()
 
