@@ -122,7 +122,17 @@ class BcaBridge(Module):
             lambda: self.up.response_fired,
         )
         self._tick = self.signal("tick")
-        self.clocked(self._on_clock)
+        self.clocked(
+            self._on_clock,
+            reads=up_port.request_signals()
+            + [up_port.gnt, up_port.r_req, up_port.r_gnt]
+            + down_port.response_signals()
+            + [down_port.gnt, down_port.req, down_port.r_gnt]
+            + [self._tick],
+            writes=down_port.request_signals()
+            + up_port.response_signals()
+            + [self._tick],
+        )
         self.comb(self._accept_comb, [self._tick, up_port.req])
 
     # -- pin idlers ----------------------------------------------------------

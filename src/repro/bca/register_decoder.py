@@ -55,7 +55,12 @@ class BcaRegisterDecoder(Module):
         self._cursor = 0
         self.errors = 0
         self._tick = self.signal("tick")
-        self.clocked(self._step)
+        self.clocked(
+            self._step,
+            reads=port.request_signals()
+            + [port.gnt, port.r_req, port.r_gnt, self._tick],
+            writes=port.response_signals() + [self._tick],
+        )
         self.comb(lambda: self.port.gnt.drive(1), [self._tick])
 
     def read_register(self, index: int) -> bytes:

@@ -11,7 +11,7 @@ them.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from .signal import Signal
 from .simulator import Simulator
@@ -48,17 +48,20 @@ class Module:
         name: Optional[str] = None,
         reads: Optional[Iterable[Signal]] = None,
         writes: Optional[Iterable[Signal]] = None,
+        tie_offs: Optional[Dict[Signal, int]] = None,
+        domain: Optional[str] = None,
     ) -> None:
         """Register a posedge process, named under this module's scope.
 
         ``reads``/``writes`` optionally declare every signal the process
-        may ever read or drive; the static lint pass uses the declarations
-        to reason about clocked dataflow (see
-        :meth:`repro.kernel.Simulator.add_clocked`).
+        may ever read or drive; ``tie_offs`` declares unconditional
+        constant drives and ``domain`` the clock domain.  The static
+        lint/analysis passes use the declarations to reason about clocked
+        dataflow (see :meth:`repro.kernel.Simulator.add_clocked`).
         """
         self.sim.add_clocked(
             process, name=self._process_name(process, name),
-            reads=reads, writes=writes,
+            reads=reads, writes=writes, tie_offs=tie_offs, domain=domain,
         )
 
     def comb(

@@ -82,6 +82,15 @@ class ProcessInfo:
     registration (``None`` means "unknown"); the ``observed_*`` sets are
     filled in by the elaboration-time dry run.  ``errors`` collects
     exceptions harvested during ``elaborate(harvest_errors=True)``.
+
+    ``declared_tie_offs`` records signals this process drives to a fixed
+    constant every activation (``(signal, value)`` pairs); the static
+    analysis pass treats them as proven constant nets.  ``domain`` names
+    the clock domain a clocked process belongs to; ``None`` means the
+    implicit default domain.  Neither changes scheduling — the kernel
+    still runs every clocked process on the single simulated clock — but
+    they let the CDC rule reason about designs annotated with their
+    eventual physical clocking.
     """
 
     process: Process
@@ -91,6 +100,8 @@ class ProcessInfo:
     sensitivity: Tuple[Signal, ...] = ()
     declared_reads: Optional[Tuple[Signal, ...]] = None
     declared_writes: Optional[Tuple[Signal, ...]] = None
+    declared_tie_offs: Tuple[Tuple[Signal, int], ...] = ()
+    domain: Optional[str] = None
     observed_reads: Set[Signal] = field(default_factory=set)
     observed_writes: Set[Signal] = field(default_factory=set)
     errors: List[Exception] = field(default_factory=list)
@@ -211,6 +222,8 @@ class Simulator:
         name: Optional[str] = None,
         reads: Optional[Iterable[Signal]] = None,
         writes: Optional[Iterable[Signal]] = None,
+        tie_offs: Optional[Dict[Signal, int]] = None,
+        domain: Optional[str] = None,
     ) -> None:
         """Register a process run once per clock posedge.
 
@@ -218,20 +231,51 @@ class Simulator:
         ever read or drive.  The kernel never enforces them; they feed the
         static lint pass, whose undriven-input and dead-net rules only run
         when every clocked process in the design declares its set.
+
+        ``tie_offs`` declares signals the process drives to a fixed
+        constant on *every* activation (``{signal: value}``); tied
+        signals are implicitly part of the write set.  ``domain``
+        optionally names the clock domain the process belongs to
+        (``None`` = the implicit default domain); the static analysis
+        pass flags unsynchronized domain crossings.
         """
         if self._elaborated:
             raise ElaborationError("cannot add processes after elaborate()")
+        tied = tuple(tie_offs.items()) if tie_offs else ()
+        declared_writes = None if writes is None else tuple(writes)
+        if tied and declared_writes is not None:
+            # Tie-offs are writes; keep the declared set complete without
+            # requiring callers to list tied signals twice.
+            extra = tuple(
+                sig for sig, _ in tied if sig not in declared_writes
+            )
+            declared_writes = declared_writes + extra
         info = ProcessInfo(
             process=process,
             name=name or _default_label(process),
             kind="clocked",
             index=len(self._clocked),
             declared_reads=None if reads is None else tuple(reads),
-            declared_writes=None if writes is None else tuple(writes),
+            declared_writes=declared_writes,
+            declared_tie_offs=tied,
+            domain=domain,
         )
         self._clocked.append(process)
         self.clocked_processes.append(info)
         self._clocked_labels.setdefault(id(process), info.name)
+
+    def assign_clock_domain(self, prefix: str, domain: str) -> None:
+        """Annotate every clocked process whose name starts with
+        ``prefix`` as belonging to clock ``domain``.
+
+        Static metadata only — scheduling is unchanged.  Lets a fabric
+        builder (or a test) tag whole components with their physical
+        clock after construction, which is what the CDC analysis rule
+        keys on.
+        """
+        for info in self.clocked_processes:
+            if info.name.startswith(prefix):
+                info.domain = domain
 
     def add_comb(
         self,

@@ -217,8 +217,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for r in reports for f in r.all_findings()
     )
     if args.as_json:
+        from .diagnostics import SCHEMA_VERSION
+
         print(json.dumps(
             {
+                "schema_version": SCHEMA_VERSION,
                 "clean": all(r.clean for r in reports),
                 "has_errors": has_errors,
                 "configs": [r.to_dict() for r in reports],

@@ -9,6 +9,9 @@ Waivers follow the usual lint-tool convention: a text file with one
 ``<rule-glob> <location-glob>`` pair per line (``#`` starts a comment;
 the comment doubles as the waive reason).  Waived findings stay in the
 report — flagged, but excluded from the error count that gates the flow.
+The waiver machinery itself lives in :mod:`repro.analysis.waivers` (one
+dialect shared by both static passes) and is re-exported here for
+backward compatibility.
 """
 
 from __future__ import annotations
@@ -16,8 +19,18 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass, field, asdict
-from fnmatch import fnmatchcase
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.waivers import (  # noqa: F401  (re-exported public API)
+    Waiver,
+    WaiverError,
+    apply_waivers,
+    parse_waivers,
+)
+
+#: Version stamp for the JSON report format (see README "Lint JSON
+#: schema"); shared with ``repro.analysis`` output.
+SCHEMA_VERSION = 1
 
 
 class Severity(enum.Enum):
@@ -125,6 +138,7 @@ class LintReport:
 
     def to_dict(self) -> Dict[str, object]:
         return {
+            "schema_version": SCHEMA_VERSION,
             "design": self.design,
             "n_signals": self.n_signals,
             "n_comb": self.n_comb,
@@ -137,53 +151,3 @@ class LintReport:
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
-
-
-@dataclass(frozen=True)
-class Waiver:
-    """Suppress findings whose rule and location match the glob patterns."""
-
-    rule: str
-    location: str
-    reason: str = ""
-
-    def matches(self, finding: Finding) -> bool:
-        return fnmatchcase(finding.rule, self.rule) and fnmatchcase(
-            finding.location, self.location
-        )
-
-
-class WaiverError(ValueError):
-    """A waiver file line could not be parsed."""
-
-
-def parse_waivers(text: str) -> List[Waiver]:
-    """Parse the waiver file format.
-
-    One waiver per line: ``<rule-glob> <location-glob> [# reason]``.
-    Blank lines and pure comment lines are skipped.
-    """
-    waivers: List[Waiver] = []
-    for lineno, raw in enumerate(text.splitlines(), start=1):
-        line, _, comment = raw.partition("#")
-        line = line.strip()
-        if not line:
-            continue
-        parts = line.split()
-        if len(parts) != 2:
-            raise WaiverError(
-                f"waiver line {lineno}: expected '<rule> <location>', "
-                f"got {raw.strip()!r}"
-            )
-        waivers.append(Waiver(parts[0], parts[1], comment.strip()))
-    return waivers
-
-
-def apply_waivers(findings: Iterable[Finding],
-                  waivers: Sequence[Waiver]) -> None:
-    """Mark findings matched by any waiver (in place)."""
-    if not waivers:
-        return
-    for finding in findings:
-        if any(w.matches(finding) for w in waivers):
-            finding.waived = True

@@ -52,6 +52,8 @@ class DesignGraph:
         self.known_writers: Dict[Signal, List[ProcessInfo]] = {}
         #: signal -> processes known to read it (sensitivity not included).
         self.known_readers: Dict[Signal, List[ProcessInfo]] = {}
+        #: signal -> declared constant drives on it, as (process, value).
+        self.tie_offs: Dict[Signal, List[Tuple[ProcessInfo, int]]] = {}
         for info in self.comb:
             for sig in info.observed_writes:
                 self.known_writers.setdefault(sig, []).append(info)
@@ -62,6 +64,24 @@ class DesignGraph:
                 self.known_writers.setdefault(sig, []).append(info)
             for sig in info.declared_reads or ():
                 self.known_readers.setdefault(sig, []).append(info)
+            for sig, value in info.declared_tie_offs:
+                self.tie_offs.setdefault(sig, []).append((info, value))
+                if info.declared_writes is None:
+                    # add_clocked() folds tie-offs into a declared write
+                    # set; with no declared set, the tie-off is still a
+                    # known writer fact.
+                    self.known_writers.setdefault(sig, []).append(info)
+
+    def clock_domains(self) -> Dict[str, List[ProcessInfo]]:
+        """Clocked processes grouped by declared clock domain.
+
+        Processes without an annotation land in the implicit default
+        domain ``"clk"`` — the single simulated clock.
+        """
+        domains: Dict[str, List[ProcessInfo]] = {}
+        for info in self.clocked:
+            domains.setdefault(info.domain or "clk", []).append(info)
+        return domains
 
     @classmethod
     def from_simulator(cls, sim: Simulator) -> "DesignGraph":

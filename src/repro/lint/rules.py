@@ -265,6 +265,13 @@ def check_dead_net(graph: DesignGraph) -> List[Finding]:
             continue
         if graph.known_readers.get(sig) or graph.wakes.get(sig):
             continue
+        if sig in graph.tie_offs and all(
+            any(w is tied for tied, _ in graph.tie_offs[sig])
+            for w in writers
+        ):
+            # Every driver declares a constant tie-off: the net is pinned
+            # on purpose (e.g. a BFM tying src to 0), not left dangling.
+            continue
         names = ", ".join(sorted(w.name for w in writers))
         findings.append(
             Finding(

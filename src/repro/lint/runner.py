@@ -200,7 +200,10 @@ class ConfigLintReport:
         return "\n".join(lines) + "\n"
 
     def to_dict(self) -> Dict[str, object]:
+        from .diagnostics import SCHEMA_VERSION
+
         return {
+            "schema_version": SCHEMA_VERSION,
             "config": self.config_name,
             "clean": self.clean,
             "has_errors": self.has_errors,

@@ -61,6 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--lint-waivers", metavar="FILE", default=None,
                         help="waiver file for the lint gate (see "
                              "python -m repro.lint --help)")
+    parser.add_argument("--unr", action="store_true",
+                        help="annotate each per-config report with the "
+                             "static coverage-unreachability verdicts "
+                             "(see python -m repro.analysis --help); off "
+                             "by default and the reports are then "
+                             "byte-identical to a run without this flag")
     resilience = parser.add_argument_group(
         "fault tolerance",
         "Crash isolation is always on: a crashed/hung run becomes an "
@@ -193,6 +199,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             journal_path=args.journal,
             resume=args.resume,
         ),
+        unr=args.unr,
     )
     try:
         report = runner.run()

@@ -25,13 +25,16 @@ from .runner import ConfigReport, RegressionRunner
 
 
 class FlowState(enum.Enum):
-    """The boxes of Figure 4 (plus the static lint gate added in front
-    of model verification: defective testbench/model structure is caught
-    before any cycle is simulated)."""
+    """The boxes of Figure 4 (plus the static gates added in front of
+    model verification: the lint pass catches defective testbench/model
+    structure, the opt-in dataflow analysis catches ordering races, CDC
+    hazards and statically-unreachable coverage bins — all before any
+    cycle is simulated)."""
 
     FUNCTIONAL_SPEC = "functional_specifications"
     VERIFICATION_IMPL = "verification_implementation"
     STATIC_LINT = "static_design_lint"
+    STATIC_ANALYSIS = "static_dataflow_analysis"
     MODEL_VERIFICATION = "rtl_and_bca_verification"
     BUS_ACCURATE_COMPARISON = "bus_accurate_comparison"
     SIGNED_OFF = "signed_off"
@@ -72,6 +75,10 @@ class CommonVerificationFlow:
     it is called with the current bug set and returns the bug set of the
     next BCA drop (an empty set is the fixed model).
 
+    ``analysis`` adds the static dataflow-analysis gate (races, CDC,
+    cross-view cones, UNR) after the lint gate; like lint, it runs before
+    any cycle is simulated and error findings stop the flow.
+
     ``telemetry`` (an optional
     :class:`~repro.telemetry.TelemetryConfig`) is threaded into every
     regression the flow runs; since the flow may iterate several times,
@@ -94,6 +101,7 @@ class CommonVerificationFlow:
         initial_bca_bugs: Sequence[str] = (),
         max_iterations: int = 4,
         lint: bool = True,
+        analysis: bool = False,
         jobs: int = 1,
         telemetry: Optional[TelemetryConfig] = None,
         resilience: Optional["ResilienceConfig"] = None,
@@ -105,6 +113,7 @@ class CommonVerificationFlow:
         self.bca_bugs = frozenset(initial_bca_bugs)
         self.max_iterations = max_iterations
         self.lint = lint
+        self.analysis = analysis
         self.jobs = jobs
         self.telemetry = (
             telemetry if telemetry is not None else TelemetryConfig()
@@ -165,6 +174,41 @@ class CommonVerificationFlow:
         )
         return True
 
+    def _run_analysis(self) -> bool:
+        """Static dataflow-analysis gate (opt-in via ``analysis=True``).
+
+        Races, CDC hazards and in-model-but-unreachable coverage bins
+        are error-severity and block the flow; the UNR summary of the
+        pruned bins is recorded in the history either way.
+        """
+        from ..analysis import analyze_config
+
+        result = analyze_config(self.config)
+        if result.has_errors:
+            bad = [
+                f for f in result.all_findings()
+                if not f.waived and f.severity.value == "error"
+            ]
+            self._enter(
+                FlowState.STATIC_ANALYSIS,
+                f"{len(bad)} error-severity finding(s) "
+                f"({', '.join(sorted({f.rule for f in bad}))}): "
+                "fix the design before simulating",
+            )
+            return False
+        counts = result.unr.counts() if result.unr is not None else {}
+        unr_note = (
+            f"; UNR: {counts.get('UNREACHABLE', 0)} bin(s) proven "
+            f"unreachable, {counts.get('UNKNOWN', 0)} unknown"
+            if counts else ""
+        )
+        self._enter(
+            FlowState.STATIC_ANALYSIS,
+            "no races, no clock-domain crossings, port cones equal "
+            f"across views{unr_note}",
+        )
+        return True
+
     def _run_regression(self) -> ConfigReport:
         telemetry = self.telemetry
         if telemetry.enabled:
@@ -187,6 +231,8 @@ class CommonVerificationFlow:
             "common environment built from the functional spec only",
         )
         if self.lint and not self._run_lint():
+            return FlowOutcome(False, 0, self.history, None)
+        if self.analysis and not self._run_analysis():
             return FlowOutcome(False, 0, self.history, None)
         report: Optional[ConfigReport] = None
         for iteration in range(1, self.max_iterations + 1):

@@ -313,6 +313,7 @@ class RegressionRunner:
         jobs: int = 1,
         telemetry: Optional[TelemetryConfig] = None,
         resilience: Optional[ResilienceConfig] = None,
+        unr: bool = False,
     ):
         self.configs = list(configs)
         self.tests = list(tests) if tests is not None else list(TESTCASES)
@@ -333,6 +334,10 @@ class RegressionRunner:
         self.resilience = (
             resilience if resilience is not None else ResilienceConfig()
         )
+        #: Annotate per-config reports with static UNR verdicts.  Off by
+        #: default: with it off, every artifact stays byte-identical to a
+        #: runner without the feature.
+        self.unr = unr
         if workdir:
             os.makedirs(workdir, exist_ok=True)
 
@@ -482,8 +487,41 @@ class RegressionRunner:
                     handle.write(config_report.render())
                     handle.write("\n")
                     handle.write(config_report.rtl_coverage.render())
+                    if self.unr:
+                        handle.write("\n")
+                        handle.write(self._unr_annotation(config_report))
             report.configs.append(config_report)
         return report
+
+    @staticmethod
+    def _unr_annotation(config_report: ConfigReport) -> str:
+        """Static UNR verdicts joined against the run's coverage holes.
+
+        Only written when the runner was built with ``unr=True``; the
+        per-config report is byte-identical to a pre-UNR runner
+        otherwise.
+        """
+        from ..analysis.unr import analyze_unreachability
+
+        unr = analyze_unreachability(config_report.config)
+        lines = [unr.render().rstrip("\n")]
+        holes = config_report.rtl_coverage.holes()
+        if holes:
+            lines.append("  coverage holes vs static verdicts:")
+            for hole in holes:
+                group, _, bin_name = hole.partition(":")
+                verdict = unr.verdict_for(group, bin_name)
+                if verdict is None:
+                    lines.append(f"    {hole}: no static verdict")
+                else:
+                    lines.append(
+                        f"    {hole}: {verdict.verdict} — {verdict.reason}"
+                    )
+        else:
+            lines.append(
+                "  no coverage holes; every in-model bin was hit"
+            )
+        return "\n".join(lines) + "\n"
 
     def run_one(self, config: NodeConfig, test_name: str,
                 seed: int) -> TestEntry:
@@ -507,7 +545,7 @@ class RegressionRunner:
             bca_bugs=self.bca_bugs,
             with_arbitration_checker=self.with_arbitration_checker,
             jobs=self.jobs, telemetry=self.telemetry,
-            resilience=self.resilience,
+            resilience=self.resilience, unr=self.unr,
         )
         return sub.run().configs[0]
 

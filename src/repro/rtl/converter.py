@@ -94,7 +94,17 @@ class RtlBridge(Module):
         self._resp_idx = 0
 
         self._tick = self.signal("tick")
-        self.clocked(self._clk)
+        self.clocked(
+            self._clk,
+            reads=up_port.request_signals()
+            + [up_port.gnt, up_port.r_req, up_port.r_gnt]
+            + down_port.response_signals()
+            + [down_port.gnt, down_port.req, down_port.r_gnt]
+            + [self._tick],
+            writes=down_port.request_signals()
+            + up_port.response_signals()
+            + [self._tick],
+        )
         self.comb(self._gnt_comb, [self._tick, up_port.req, down_port.r_req])
 
     # -- combinational accept logic -------------------------------------------

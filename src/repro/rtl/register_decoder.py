@@ -55,7 +55,12 @@ class RtlRegisterDecoder(Module):
         self._resp_idx = 0
         self.errors = 0
         self._tick = self.signal("tick")
-        self.clocked(self._clk)
+        self.clocked(
+            self._clk,
+            reads=port.request_signals()
+            + [port.gnt, port.r_req, port.r_gnt, self._tick],
+            writes=port.response_signals() + [self._tick],
+        )
         self.comb(lambda: self.port.gnt.drive(1), [self._tick])
 
     # -- register access ---------------------------------------------------------

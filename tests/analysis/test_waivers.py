@@ -1,0 +1,69 @@
+"""The waiver dialect shared between repro.lint and repro.analysis."""
+
+import pytest
+
+from repro.analysis.waivers import (
+    Waiver,
+    WaiverError,
+    apply_waivers,
+    load_waiver_file,
+    parse_waivers,
+)
+
+
+def test_lint_reexports_the_shared_machinery():
+    # One dialect, one implementation: the lint names must BE the
+    # analysis names, not copies.
+    import repro.analysis.waivers as shared
+    import repro.lint.diagnostics as lint
+
+    assert lint.Waiver is shared.Waiver
+    assert lint.WaiverError is shared.WaiverError
+    assert lint.parse_waivers is shared.parse_waivers
+    assert lint.apply_waivers is shared.apply_waivers
+
+
+def test_schema_versions_agree():
+    import repro.analysis as analysis
+    import repro.lint.diagnostics as lint
+
+    assert analysis.SCHEMA_VERSION == lint.SCHEMA_VERSION
+
+
+def test_parse_waivers_with_reasons_and_comments():
+    waivers = parse_waivers(
+        "# header comment\n"
+        "race-* tb.dut.* # known bridge artifact\n"
+        "\n"
+        "cdc-crossing *\n"
+    )
+    assert len(waivers) == 2
+    assert waivers[0].rule == "race-*"
+    assert waivers[0].reason == "known bridge artifact"
+    assert waivers[1].location == "*"
+
+
+def test_parse_rejects_single_token_line():
+    with pytest.raises(WaiverError):
+        parse_waivers("just-a-rule\n")
+
+
+def test_one_file_waives_both_tools(tmp_path):
+    from repro.lint.diagnostics import Finding, Severity
+
+    path = tmp_path / "waivers.txt"
+    path.write_text(
+        "dead-net tb.* # lint finding\n"
+        "race-delta-overwrite tb.* # analysis finding\n"
+    )
+    waivers = load_waiver_file(str(path))
+    findings = [
+        Finding(rule="dead-net", severity=Severity.WARNING,
+                message="m", signal="tb.x"),
+        Finding(rule="race-delta-overwrite", severity=Severity.ERROR,
+                message="m", signal="tb.y"),
+        Finding(rule="comb-loop", severity=Severity.ERROR,
+                message="m", signal="tb.z"),
+    ]
+    apply_waivers(findings, waivers)
+    assert [f.waived for f in findings] == [True, True, False]

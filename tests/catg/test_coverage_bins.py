@@ -1,0 +1,110 @@
+"""Bin-accounting edge cases for the functional coverage model."""
+
+import pytest
+
+from repro.catg.coverage import CoverGroup, CoverageModel, build_node_coverage
+from repro.stbus import NodeConfig
+
+
+# ---------------------------------------------------------------------------
+# zero-sample groups
+# ---------------------------------------------------------------------------
+
+def test_zero_sample_group_reports_all_holes():
+    group = CoverGroup("g", ["a", "b", "c"])
+    assert group.n_covered == 0
+    assert group.percent == 0.0
+    assert group.holes() == ["a", "b", "c"]
+    assert group.hit_map() == {"a": False, "b": False, "c": False}
+
+
+def test_zero_sample_model_percent_and_signature():
+    model = CoverageModel([CoverGroup("g", ["a"]), CoverGroup("h", ["x", "y"])])
+    assert model.n_bins == 3
+    assert model.n_covered == 0
+    assert model.percent == 0.0
+    assert model.holes() == ["g:a", "h:x", "h:y"]
+    # The signature is stable and all-False before any sample.
+    assert model.hit_signature() == (
+        ("g", (("a", False),)),
+        ("h", (("x", False), ("y", False))),
+    )
+
+
+def test_empty_bin_list_is_rejected():
+    with pytest.raises(ValueError):
+        CoverGroup("empty", [])
+
+
+def test_sample_outside_the_space_is_ignored_not_counted():
+    group = CoverGroup("g", ["a"])
+    group.sample("zzz")
+    assert group.n_covered == 0
+    assert group.bins == {"a": 0}
+
+
+# ---------------------------------------------------------------------------
+# duplicate bin names
+# ---------------------------------------------------------------------------
+
+def test_duplicate_bin_names_collapse_to_one_bin():
+    group = CoverGroup("g", ["a", "a", "b"])
+    assert group.n_bins == 2
+    group.sample("a")
+    group.sample("a")
+    # One logical bin: two samples, one covered bin, no double counting.
+    assert group.bins["a"] == 2
+    assert group.n_covered == 1
+    assert group.percent == 50.0
+
+
+def test_numeric_and_string_bin_names_collapse():
+    # Bins are keyed by str(); 1 and "1" are the same bin.
+    group = CoverGroup("g", [1, "1", "2"])
+    assert group.n_bins == 2
+    group.sample(1)
+    assert group.bins["1"] == 1
+    group.sample("1")
+    assert group.bins["1"] == 2
+
+
+# ---------------------------------------------------------------------------
+# cross-bin totals
+# ---------------------------------------------------------------------------
+
+def test_model_totals_are_the_sum_of_group_totals():
+    config = NodeConfig()
+    model = build_node_coverage(config)
+    assert model.n_bins == sum(g.n_bins for g in model.groups.values())
+    assert model.n_covered == sum(g.n_covered for g in model.groups.values())
+    model["decode"].sample("hit")
+    model["be"].sample("full")
+    assert model.n_covered == 2
+    assert 0.0 < model.percent < 100.0
+    assert len(model.holes()) == model.n_bins - 2
+
+
+def test_merge_accumulates_counts_and_adopts_unknown_bins():
+    base = CoverageModel([CoverGroup("g", ["a", "b"])])
+    base["g"].sample("a")
+    other = CoverageModel([
+        CoverGroup("g", ["a", "b", "extra"]),
+        CoverGroup("new", ["x"]),
+    ])
+    other["g"].sample("a")
+    other["g"].sample("extra")
+    other["new"].sample("x")
+    base.merge(other)
+    # Counts add; bins and groups unknown to the base are adopted.
+    assert base["g"].bins == {"a": 2, "b": 0, "extra": 1}
+    assert base["new"].bins == {"x": 1}
+    assert base.n_bins == 4
+    assert base.n_covered == 3
+
+
+def test_merge_is_identity_on_fresh_models():
+    config = NodeConfig()
+    base = build_node_coverage(config)
+    base.merge(build_node_coverage(config))
+    assert base.n_covered == 0
+    assert base.n_bins == build_node_coverage(config).n_bins

@@ -204,6 +204,38 @@ def test_dead_net_requires_declared_reads():
     assert findings[0].severity is Severity.WARNING
 
 
+def test_dead_net_skips_proven_tie_offs():
+    # A never-read net whose only driver declares it as a constant tie-off
+    # is pinned on purpose (a BFM holding src at 0), not dangling.
+    sim = Simulator()
+    top = Module(sim, "t")
+    tied = top.signal("tied")
+
+    def clk():
+        tied.drive(0)
+
+    top.clocked(clk, name="clk", reads=[], writes=[tied],
+                tie_offs={tied: 0})
+    report = lint_simulator(sim, design="tied")
+    assert not _rules(report, "dead-net")
+
+
+def test_dead_net_still_fires_when_one_driver_is_not_a_tie_off():
+    sim = Simulator()
+    top = Module(sim, "t")
+    tied = top.signal("tied")
+    sel = top.signal("sel")
+
+    def clk():
+        tied.drive(0)
+
+    top.clocked(clk, name="clk", reads=[], writes=[tied],
+                tie_offs={tied: 0})
+    top.comb(lambda: tied.drive(int(sel)), [sel], name="mux")
+    report = lint_simulator(sim, design="mixed")
+    assert [f.signal for f in _rules(report, "dead-net")] == ["t.tied"]
+
+
 def test_dead_net_silent_when_design_is_traced():
     from repro.kernel import Tracer
 
