@@ -15,6 +15,10 @@ process at a time), this package reasons about *flows*:
   with the proving witness or blocking constant;
 * :mod:`~repro.analysis.xview` — cross-view cone-equivalence check (RTL
   vs BCA cones per STBus port);
+* :mod:`~repro.analysis.symbolic` — the symbolic pass (``--symbolic``):
+  lift process bodies to a bitvector IR, prove per-port functional
+  RTL≡BCA equivalence, and upgrade the UNR decode verdicts with the
+  exact interval-coverage engine;
 * :mod:`~repro.analysis.waivers` — the waiver format shared with
   ``repro.lint``.
 
@@ -55,6 +59,12 @@ _LAZY = {
     "UnrReport": "unr",
     "analyze_unreachability": "unr",
     "cone_equivalence_findings": "xview",
+    "LiftReport": "symbolic.lift",
+    "SymbolicReport": "symbolic.report",
+    "UnrUpgrade": "symbolic.reach",
+    "lift_process": "symbolic.lift",
+    "lift_simulator": "symbolic.lift",
+    "run_symbolic_analysis": "symbolic.report",
     "AnalysisReport": "runner",
     "ConfigAnalysisReport": "runner",
     "analyze_simulator": "runner",

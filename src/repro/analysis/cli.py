@@ -86,6 +86,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the coverage-unreachability verdicts (on by default)",
     )
     parser.add_argument(
+        "--symbolic", action="store_true",
+        help="run the symbolic pass: lift process bodies to IR, prove "
+             "per-port functional RTL=BCA equivalence, and upgrade the "
+             "UNR decode verdicts with the exact interval engine",
+    )
+    parser.add_argument(
+        "--symbolic-budget", metavar="N", type=int, default=None,
+        help="comb-cone enumeration budget for --symbolic (points per "
+             "cone; larger cones are skipped with a "
+             "symbolic-domain-too-large diagnostic)",
+    )
+    parser.add_argument(
+        "--inject-bug", metavar="NAME", action="append", default=[],
+        help="with --symbolic: inject a registered BCA bug into the "
+             "equivalence harness (repeatable) to check it is caught",
+    )
+    parser.add_argument(
         "--strict", action="store_true",
         help="exit nonzero on warnings too, not only errors",
     )
@@ -121,13 +138,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule_id in sorted(ANALYSIS_RULES):
-            rule = ANALYSIS_RULES[rule_id]
-            print(f"{rule_id:24s} {rule.severity.value:8s} {rule.summary}")
-        print(f"{'xview-cone':24s} {'error':8s} "
-              "RTL and BCA views must give each port the same fan-in cone")
-        print(f"{'unr-model-unreachable':24s} {'error':8s} "
-              "a coverage-model bin must not be statically unreachable")
+        from ..lint.diagnostics import format_rule_listing, rule_doc
+
+        entries = [
+            (rule_id, rule.severity.value, rule.summary,
+             rule_doc(rule.check))
+            for rule_id, rule in sorted(ANALYSIS_RULES.items())
+        ]
+        entries.append((
+            "xview-cone", "error",
+            "RTL and BCA views must give each port the same fan-in cone",
+            "Structural check: the two views' per-port fan-in cones "
+            "(signal membership) must be identical.",
+        ))
+        entries.append((
+            "xview-function", "error",
+            "RTL and BCA must compute the same function per port "
+            "(--symbolic)",
+            "Functional check: pointwise comb enumeration plus bounded "
+            "lockstep execution must agree on every node-driven pin.",
+        ))
+        entries.append((
+            "symbolic-domain-too-large", "info",
+            "a comb cone exceeded the enumeration budget (--symbolic)",
+            "The cone's input domain was larger than --symbolic-budget; "
+            "its pins are covered by the lockstep engine instead.",
+        ))
+        entries.append((
+            "unr-model-unreachable", "error",
+            "a coverage-model bin must not be statically unreachable",
+            "An in-model coverage bin proven unreachable means 100% "
+            "coverage is impossible on this configuration.",
+        ))
+        print(format_rule_listing(entries))
         return 0
 
     sources = [bool(args.config_dir), args.matrix, args.stock]
@@ -162,12 +205,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     from ..lint.diagnostics import Severity
 
+    if args.inject_bug:
+        from ..bca import validate_bugs
+        try:
+            validate_bugs(args.inject_bug)
+        except ValueError as exc:
+            print(f"repro-analysis: {exc}", file=sys.stderr)
+            return USAGE_EXIT
+
     views = tuple(args.view) if args.view else ("rtl", "bca")
     reports: List[ConfigAnalysisReport] = []
     for config in configs:
         reports.append(
             analyze_config(config, views=views, rules=rules,
-                           waivers=waivers, unr=args.unr)
+                           waivers=waivers, unr=args.unr,
+                           symbolic=args.symbolic,
+                           symbolic_budget=args.symbolic_budget,
+                           bca_bugs=tuple(args.inject_bug))
         )
 
     has_errors = any(r.has_errors for r in reports)
@@ -195,6 +249,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"{len(views)} view(s): "
               + ("all clean of errors" if not n_bad
                  else f"{n_bad} with errors"))
+        if args.symbolic:
+            sym = [r.symbolic for r in reports if r.symbolic is not None]
+            n_mismatch = sum(len(s.mismatched_ports) for s in sym)
+            n_unknown = sum(s.unknown_unr for s in sym)
+            print(f"symbolic: {n_mismatch} mismatched port(s), "
+                  f"{n_unknown} UNKNOWN UNR verdict(s) across "
+                  f"{len(sym)} configuration(s)")
     return _gate(has_errors, has_warnings, args.strict)
 
 

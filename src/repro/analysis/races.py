@@ -95,6 +95,9 @@ def _rule(rule_id: str, severity: Severity, summary: str):
     "(the comb write silently overwrites the registered value)",
 )
 def check_delta_overwrite(ctx: AnalysisContext) -> List[Finding]:
+    """Flag nets written by both a clocked and a comb process: the comb
+    write lands in a later delta slot and silently overwrites the
+    registered value, invisible to the runtime multi-driver check."""
     findings: List[Finding] = []
     for sig in ctx.graph.signals:
         writers = ctx.graph.known_writers.get(sig, [])
@@ -146,24 +149,65 @@ def check_delta_overwrite(ctx: AnalysisContext) -> List[Finding]:
     "two processes declare tie-offs with different constants on one net",
 )
 def check_tie_off_conflict(ctx: AnalysisContext) -> List[Finding]:
+    """Flag contradictory constant drives on one net: two declared
+    tie-offs that disagree, or a declared tie-off contradicted by a comb
+    process whose lifted output function proves a different constant."""
     findings: List[Finding] = []
     for sig, entries in ctx.graph.tie_offs.items():
         values = {value for _, value in entries}
-        if len(values) < 2:
+        if len(values) >= 2:
+            detail = ", ".join(
+                f"{info.name}->{value}"
+                for info, value in sorted(entries, key=lambda e: e[0].name)
+            )
+            findings.append(Finding(
+                rule="tie-off-conflict",
+                severity=Severity.ERROR,
+                message=f"contradictory constant drives declared: {detail}",
+                signal=sig.name,
+                hint="the declarations cannot all hold; fix the wrong one "
+                     "(the constant engine trusts neither)",
+            ))
             continue
-        detail = ", ".join(
-            f"{info.name}->{value}"
-            for info, value in sorted(entries, key=lambda e: e[0].name)
-        )
-        findings.append(Finding(
-            rule="tie-off-conflict",
-            severity=Severity.ERROR,
-            message=f"contradictory constant drives declared: {detail}",
-            signal=sig.name,
-            hint="the declarations cannot all hold; fix the wrong one "
-                 "(the constant engine trusts neither)",
-        ))
+        # A consistent declaration can still be contradicted by what a
+        # comb writer provably computes: lift any comb writer of the
+        # tied net and compare its closed output function (if it has
+        # one) against the declared value.
+        declared = values.pop()
+        declarants = {info.name for info, _ in entries}
+        for writer in ctx.graph.known_writers.get(sig, []):
+            if writer.kind != "comb" or writer.name in declarants:
+                continue
+            proven = _lifted_constant_drive(writer, sig.name)
+            if proven is None or proven == declared:
+                continue
+            findings.append(Finding(
+                rule="tie-off-conflict",
+                severity=Severity.ERROR,
+                message=(
+                    f"declared tied to {declared} by "
+                    f"{', '.join(sorted(declarants))}, but the lifted "
+                    f"output function of {writer.name} proves it always "
+                    f"drives {proven}"
+                ),
+                signal=sig.name,
+                hint="the declaration and the comb logic disagree; one "
+                     "of them is wrong",
+            ))
     return findings
+
+
+def _lifted_constant_drive(info, signal_name: str) -> Optional[int]:
+    """The constant ``info`` provably always drives onto the net, or
+    None when its lifted assignment is missing or not closed."""
+    from .symbolic.ir import evaluate, is_closed
+    from .symbolic.lift import lift_process
+
+    lifted = lift_process(info)
+    assign = lifted.assign_for(signal_name)
+    if assign is None or not is_closed(assign.expr):
+        return None
+    return evaluate(assign.expr, {})
 
 
 # ---------------------------------------------------------------------------
@@ -177,6 +221,8 @@ def check_tie_off_conflict(ctx: AnalysisContext) -> List[Finding]:
     "(directly or through combinational logic)",
 )
 def check_cdc_crossing(ctx: AnalysisContext) -> List[Finding]:
+    """Flag nets registered in one annotated clock domain and sampled
+    in another (directly or through comb logic) with no synchronizer."""
     domains = ctx.graph.clock_domains()
     if len(domains) < 2:
         return []  # single (or implicit) domain: nothing can cross

@@ -137,18 +137,28 @@ class ConfigAnalysisReport:
     cross_view: List[Finding] = field(default_factory=list)
     unr: Optional[UnrReport] = None
     unr_findings: List[Finding] = field(default_factory=list)
+    #: Symbolic pass results (``--symbolic`` only); None otherwise, and
+    #: then absent from both render() and to_dict() so non-symbolic
+    #: output stays byte-identical.
+    symbolic: Optional[object] = None
+
+    def _symbolic_findings(self) -> List[Finding]:
+        return [] if self.symbolic is None else self.symbolic.findings
 
     @property
     def has_errors(self) -> bool:
-        gated = self.cross_view + self.unr_findings
+        gated = (self.cross_view + self.unr_findings
+                 + self._symbolic_findings())
         return any(r.has_errors for r in self.views.values()) or any(
             f.severity is Severity.ERROR and not f.waived for f in gated
         )
 
     @property
     def clean(self) -> bool:
+        extra = (self.cross_view + self.unr_findings
+                 + self._symbolic_findings())
         return all(r.clean for r in self.views.values()) and not any(
-            not f.waived for f in self.cross_view + self.unr_findings
+            not f.waived for f in extra
         )
 
     def all_findings(self) -> List[Finding]:
@@ -157,6 +167,7 @@ class ConfigAnalysisReport:
             findings.extend(report.findings)
         findings.extend(self.cross_view)
         findings.extend(self.unr_findings)
+        findings.extend(self._symbolic_findings())
         return findings
 
     def render(self) -> str:
@@ -176,12 +187,14 @@ class ConfigAnalysisReport:
             lines.append("  " + finding.render().replace("\n", "\n  "))
         if self.unr is not None:
             lines.append(self.unr.render().rstrip("\n"))
+        if self.symbolic is not None:
+            lines.append(self.symbolic.render().rstrip("\n"))
         return "\n".join(lines) + "\n"
 
     def to_dict(self) -> Dict[str, object]:
         from . import SCHEMA_VERSION
 
-        return {
+        out: Dict[str, object] = {
             "schema_version": SCHEMA_VERSION,
             "config": self.config_name,
             "clean": self.clean,
@@ -191,6 +204,9 @@ class ConfigAnalysisReport:
             "unr_findings": [f.to_dict() for f in self.unr_findings],
             "unr": self.unr.to_dict() if self.unr is not None else None,
         }
+        if self.symbolic is not None:
+            out["symbolic"] = self.symbolic.to_dict()
+        return out
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -203,6 +219,9 @@ def analyze_config(
     rules: Optional[Sequence[AnalysisRule]] = None,
     waivers: Sequence[Waiver] = (),
     unr: bool = True,
+    symbolic: bool = False,
+    symbolic_budget: Optional[int] = None,
+    bca_bugs: Sequence[str] = (),
 ) -> ConfigAnalysisReport:
     """Analyze every requested view of one configuration.
 
@@ -210,6 +229,14 @@ def analyze_config(
     With ``unr`` on (the default), attaches the coverage-unreachability
     report, using the first analyzed view's constant facts to sharpen
     the blocking-constant messages.
+
+    With ``symbolic`` on, additionally runs the symbolic pass: lift both
+    views, prove per-port functional RTL≡BCA equivalence, and upgrade
+    the UNR report's probe-based decode verdicts with the exact
+    interval-coverage engine.  ``symbolic_budget`` caps the comb-cone
+    enumeration domain (None = the engine default); ``bca_bugs`` injects
+    defects into the BCA harness so the detection of the bug registry
+    can itself be checked.
     """
     from ..lint.runner import build_env
     from .constants import derive_constants
@@ -249,6 +276,21 @@ def analyze_config(
         result.unr = analyze_unreachability(config, constants=constants)
         result.unr_findings = result.unr.findings()
         apply_waivers(result.unr_findings, waivers)
+
+    if symbolic:
+        # Imported lazily: with --symbolic off the subpackage never
+        # loads and the report layout stays exactly as before.
+        from .symbolic import run_symbolic_analysis
+        from .symbolic.equiv import DEFAULT_DOMAIN_BUDGET
+
+        result.symbolic = run_symbolic_analysis(
+            config,
+            budget=(DEFAULT_DOMAIN_BUDGET if symbolic_budget is None
+                    else symbolic_budget),
+            bca_bugs=bca_bugs,
+            unr_report=result.unr,
+        )
+        apply_waivers(result.symbolic.findings, waivers)
     return result
 
 

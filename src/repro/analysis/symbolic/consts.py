@@ -1,0 +1,91 @@
+"""Comb-constant facts proven from fully-lifted output functions.
+
+:mod:`repro.analysis.constants` deliberately never proves a
+combinational output constant — dynamically, a comb process *could*
+compute anything.  The lifter changes that: when a comb process's
+assignment to a signal is *closed* (no free variables, no OPAQUE), the
+driven value is the same on every activation, and evaluating the closed
+expression once yields a proven constant.
+
+Soundness requires sole ownership: the fact only holds if no *other*
+process ever writes the signal (another writer — lifted or not — could
+drive a different value in some delta).  Writers are taken from the
+elaboration dry-run's ``observed_writes`` plus ``declared_writes``, the
+same ground truth the dataflow graph uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .ir import evaluate, is_closed
+from .lift import LiftReport, lift_simulator
+
+__all__ = ["symbolic_comb_constants", "comb_constant_drive"]
+
+
+def _writer_names(sim) -> Dict[str, set]:
+    """Map signal name → names of every process known to write it."""
+    writers: Dict[str, set] = {}
+    for info in list(sim.comb_processes) + list(sim.clocked_processes):
+        written = set(info.observed_writes)
+        if info.declared_writes is not None:
+            written |= set(info.declared_writes)
+        for sig in written:
+            writers.setdefault(sig.name, set()).add(info.name)
+    return writers
+
+
+def symbolic_comb_constants(
+    sim, lifted: Optional[LiftReport] = None
+) -> Dict[str, Tuple[int, str]]:
+    """Signals proven constant by closed comb output functions.
+
+    Returns ``{signal_name: (value, reason)}``.  A signal qualifies only
+    when every one of its writers is a comb process whose lifted
+    assignment to it is closed, and all such writers agree on the value.
+    """
+    if lifted is None:
+        lifted = lift_simulator(sim)
+    writers = _writer_names(sim)
+    comb_names = {info.name for info in sim.comb_processes}
+
+    # candidate: signal -> {process_name: value}
+    candidates: Dict[str, Dict[str, int]] = {}
+    for proc in lifted.processes:
+        if proc.kind != "comb":
+            continue
+        for assign in proc.assigns:
+            if is_closed(assign.expr):
+                value = evaluate(assign.expr, {})
+                candidates.setdefault(assign.target, {})[proc.name] = value
+
+    facts: Dict[str, Tuple[int, str]] = {}
+    for name, by_proc in sorted(candidates.items()):
+        sig_writers = writers.get(name, set())
+        if sig_writers - comb_names:
+            continue  # a clocked process also writes it
+        if sig_writers - set(by_proc):
+            continue  # an unproven comb writer remains
+        values = set(by_proc.values())
+        if len(values) != 1:
+            continue  # proven writers disagree — not a constant net
+        value = values.pop()
+        facts[name] = (
+            value,
+            "symbolic: closed comb output function "
+            f"({', '.join(sorted(by_proc))}) always drives {value}",
+        )
+    return facts
+
+
+def comb_constant_drive(sim, signal_name: str) -> Optional[int]:
+    """The proven constant a comb-driven signal always carries, or None.
+
+    Convenience wrapper for single-signal queries (the lint dead-net
+    rule); lifts the whole simulator, so callers with many queries
+    should use :func:`symbolic_comb_constants` once instead.
+    """
+    facts = symbolic_comb_constants(sim)
+    cell = facts.get(signal_name)
+    return None if cell is None else cell[0]

@@ -1,0 +1,240 @@
+"""Bitvector expression IR for lifted process bodies.
+
+A deliberately small language: integers, named free variables (signal
+reads), the arithmetic/bit operators Python processes actually use,
+comparisons (yielding 0/1), short-circuit boolean combinations with
+Python truthiness semantics, ``Mux`` for ``if/else``, and ``Opaque`` —
+the honest "the lifter could not translate this" node.  Soundness rests
+on two properties:
+
+* evaluation of a closed, opaque-free expression agrees exactly with
+  what the Python process body computes for the same signal values
+  (the lifter only emits nodes whose semantics it reproduced 1:1);
+* any construct outside the language becomes ``Opaque`` with a reason,
+  and :func:`evaluate` *refuses* to evaluate through it
+  (:class:`OpaqueValueError`) instead of guessing.
+
+Expressions are immutable and hashable, so structural equality is plain
+``==`` and sub-expressions can be shared freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+
+class Expr:
+    """Base class for all IR nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """An integer literal (or a resolved Python-level constant)."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A free variable: one signal read, by hierarchical name."""
+
+    name: str
+    width: int = 1
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    """Unary operator: ``-``, ``~`` or ``not``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary operator over two sub-expressions."""
+
+    op: str  # + - * // % << >> & | ^
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Compare(Expr):
+    """A comparison, evaluating to 0 or 1."""
+
+    op: str  # == != < <= > >=
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class BoolOp(Expr):
+    """``and`` / ``or`` with Python's value-returning semantics."""
+
+    op: str  # "and" | "or"
+    operands: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Mux(Expr):
+    """``if_true if cond else if_false`` (cond by Python truthiness)."""
+
+    cond: Expr
+    if_true: Expr
+    if_false: Expr
+
+
+@dataclass(frozen=True)
+class Opaque(Expr):
+    """A value the lifter could not translate.
+
+    ``reason`` names the offending construct and source line so reports
+    (and the lift self-check) can say *why* the process degraded.
+    """
+
+    reason: str
+
+
+class OpaqueValueError(Exception):
+    """Raised when evaluation reaches an :class:`Opaque` node."""
+
+
+_BIN_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "//": lambda a, b: a // b,
+    "%": lambda a, b: a % b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+}
+
+_CMP_OPS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def evaluate(expr: Expr, env: Dict[str, int]) -> int:
+    """Evaluate a lifted expression under a variable assignment.
+
+    Mirrors the Python semantics of the lifted source exactly; raises
+    :class:`OpaqueValueError` on any :class:`Opaque` node and ``KeyError``
+    on a free variable missing from ``env``.
+    """
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Var):
+        return env[expr.name]
+    if isinstance(expr, UnOp):
+        value = evaluate(expr.operand, env)
+        if expr.op == "-":
+            return -value
+        if expr.op == "~":
+            return ~value
+        if expr.op == "not":
+            return int(not value)
+        raise ValueError(f"unknown unary op {expr.op!r}")
+    if isinstance(expr, BinOp):
+        return _BIN_OPS[expr.op](
+            evaluate(expr.left, env), evaluate(expr.right, env)
+        )
+    if isinstance(expr, Compare):
+        return int(_CMP_OPS[expr.op](
+            evaluate(expr.left, env), evaluate(expr.right, env)
+        ))
+    if isinstance(expr, BoolOp):
+        # Python semantics: return the deciding operand's value.
+        result = evaluate(expr.operands[0], env)
+        for operand in expr.operands[1:]:
+            if expr.op == "and" and not result:
+                return result
+            if expr.op == "or" and result:
+                return result
+            result = evaluate(operand, env)
+        return result
+    if isinstance(expr, Mux):
+        if evaluate(expr.cond, env):
+            return evaluate(expr.if_true, env)
+        return evaluate(expr.if_false, env)
+    if isinstance(expr, Opaque):
+        raise OpaqueValueError(expr.reason)
+    raise TypeError(f"not an IR node: {expr!r}")
+
+
+def free_vars(expr: Expr) -> FrozenSet[str]:
+    """Names of all :class:`Var` nodes in the expression."""
+    if isinstance(expr, Var):
+        return frozenset((expr.name,))
+    if isinstance(expr, UnOp):
+        return free_vars(expr.operand)
+    if isinstance(expr, (BinOp, Compare)):
+        return free_vars(expr.left) | free_vars(expr.right)
+    if isinstance(expr, BoolOp):
+        result: FrozenSet[str] = frozenset()
+        for operand in expr.operands:
+            result |= free_vars(operand)
+        return result
+    if isinstance(expr, Mux):
+        return free_vars(expr.cond) | free_vars(expr.if_true) \
+            | free_vars(expr.if_false)
+    return frozenset()
+
+
+def opaque_reasons(expr: Expr) -> Tuple[str, ...]:
+    """All OPAQUE reasons in the expression, in traversal order."""
+    if isinstance(expr, Opaque):
+        return (expr.reason,)
+    if isinstance(expr, UnOp):
+        return opaque_reasons(expr.operand)
+    if isinstance(expr, (BinOp, Compare)):
+        return opaque_reasons(expr.left) + opaque_reasons(expr.right)
+    if isinstance(expr, BoolOp):
+        result: Tuple[str, ...] = ()
+        for operand in expr.operands:
+            result += opaque_reasons(operand)
+        return result
+    if isinstance(expr, Mux):
+        return (opaque_reasons(expr.cond) + opaque_reasons(expr.if_true)
+                + opaque_reasons(expr.if_false))
+    return ()
+
+
+def is_closed(expr: Expr) -> bool:
+    """True when the expression has no free variables and no OPAQUE."""
+    return not free_vars(expr) and not opaque_reasons(expr)
+
+
+def render(expr: Expr) -> str:
+    """Compact single-line text form (reports and debugging)."""
+    if isinstance(expr, Const):
+        return str(expr.value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, UnOp):
+        op = expr.op + (" " if expr.op == "not" else "")
+        return f"{op}{render(expr.operand)}"
+    if isinstance(expr, BinOp):
+        return f"({render(expr.left)} {expr.op} {render(expr.right)})"
+    if isinstance(expr, Compare):
+        return f"({render(expr.left)} {expr.op} {render(expr.right)})"
+    if isinstance(expr, BoolOp):
+        joined = f" {expr.op} ".join(render(o) for o in expr.operands)
+        return f"({joined})"
+    if isinstance(expr, Mux):
+        return (f"mux({render(expr.cond)}, {render(expr.if_true)}, "
+                f"{render(expr.if_false)})")
+    if isinstance(expr, Opaque):
+        return f"OPAQUE<{expr.reason}>"
+    raise TypeError(f"not an IR node: {expr!r}")

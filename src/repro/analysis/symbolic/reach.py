@@ -1,0 +1,218 @@
+"""Exact decode reachability: interval coverage instead of probes.
+
+The probe engine in :mod:`repro.analysis.unr` samples the address map at
+region boundaries and extremes; when every probe decodes to an allowed
+target it must return UNKNOWN, because a finite probe set cannot prove
+anything about the space between probes.  This module replaces that
+argument with an *exact* one over the same domain:
+
+* the resolved address map is an ordered, non-overlapping set of
+  intervals — computing the union against ``[0, 2^32)`` is a linear
+  scan, and any gap is a concrete decode-error witness address;
+* when the union covers the space, a decode error can still be observed
+  through a region whose target no initiator may reach (the node routes
+  such requests to the error engine);
+* when neither exists, *no* 32-bit address can produce a decode error —
+  a proof, not a sample, so the UNKNOWN verdict disappears.
+
+:func:`upgrade_unr_report` rewrites the probe-based verdicts of an
+existing :class:`~repro.analysis.unr.UnrReport` in place and attaches a
+structured witness vector (initiator, opcode, address) to every verdict
+it proves REACHABLE, returning the before/after delta for reports and
+the golden file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..unr import REACHABLE, UNKNOWN, UNREACHABLE, UnrReport
+from ...stbus import NodeConfig, Opcode
+
+__all__ = [
+    "UnrDelta",
+    "UnrUpgrade",
+    "coverage_gaps",
+    "exact_decode_verdict",
+    "upgrade_unr_report",
+]
+
+_ADDRESS_SPACE = 1 << 32
+
+
+def coverage_gaps(address_map) -> List[Tuple[int, int]]:
+    """Half-open ``[start, end)`` gaps of the map within ``[0, 2^32)``.
+
+    The map's regions are already sorted and non-overlapping (the
+    :class:`~repro.stbus.routing.AddressMap` constructor enforces both),
+    so a single pass computes the exact complement.
+    """
+    gaps: List[Tuple[int, int]] = []
+    cursor = 0
+    for region in address_map.regions:
+        base = min(region.base, _ADDRESS_SPACE)
+        if base > cursor:
+            gaps.append((cursor, base))
+        cursor = max(cursor, min(region.end, _ADDRESS_SPACE))
+    if cursor < _ADDRESS_SPACE:
+        gaps.append((cursor, _ADDRESS_SPACE))
+    return gaps
+
+
+def _witness_vector(config: NodeConfig, address: int,
+                    expect: str) -> Dict[str, object]:
+    """A concrete input vector exhibiting a decode error.
+
+    The opcode is the aligned bus-wide LOAD (always legal); any
+    initiator works because a mis-decoding request never consults the
+    connectivity mask on the way to the error engine.
+    """
+    opcode = Opcode.load(config.bus_bytes)
+    aligned = address - (address % config.bus_bytes)
+    return {
+        "initiator": 0,
+        "opcode": str(opcode),
+        "address": f"{aligned:#x}",
+        "expect": expect,
+    }
+
+
+def exact_decode_verdict(
+    config: NodeConfig,
+) -> Tuple[str, str, Optional[Dict[str, object]]]:
+    """Exact (verdict, reason, witness) for the decode-error bins.
+
+    Never returns UNKNOWN: the interval argument is total over the
+    32-bit address space.
+    """
+    address_map = config.resolved_map
+    gaps = coverage_gaps(address_map)
+    if gaps:
+        start, end = gaps[0]
+        covered = _ADDRESS_SPACE - sum(e - s for s, e in gaps)
+        reason = (
+            f"proven: interval union of {len(address_map.regions)} "
+            f"region(s) covers {covered:#x} of the 2^32 space, leaving "
+            f"{len(gaps)} gap(s); first gap [{start:#x},{end:#x}) "
+            "decodes to no region"
+        )
+        return REACHABLE, reason, _witness_vector(
+            config, start, "decode-error response (address in map gap)"
+        )
+    for region in address_map.regions:
+        if not any(config.path_allowed(i, region.target)
+                   for i in range(config.n_initiators)):
+            reason = (
+                f"proven: the map covers [0x0,{_ADDRESS_SPACE:#x}) but "
+                f"region [{region.base:#x},{region.end:#x}) maps to "
+                f"targ{region.target}, which the connectivity mask "
+                "allows to no initiator — the node routes every such "
+                "request to the error engine"
+            )
+            return REACHABLE, reason, _witness_vector(
+                config, region.base,
+                f"decode-error response (targ{region.target} path-masked "
+                "for every initiator)",
+            )
+    reason = (
+        f"interval-coverage proof: {len(address_map.regions)} region(s) "
+        f"union to [0x0,{_ADDRESS_SPACE:#x}) with no gap, and every "
+        "region's target is reachable by >=1 allowed initiator — no "
+        "32-bit address can produce a decode error"
+    )
+    return UNREACHABLE, reason, None
+
+
+@dataclass
+class UnrDelta:
+    """One bin verdict rewritten by the exact engine."""
+
+    bin_key: str
+    old_verdict: str
+    new_verdict: str
+    old_reason: str
+    new_reason: str
+    witness: Optional[Dict[str, object]] = None
+
+    def render(self) -> str:
+        arrow = (f"{self.old_verdict} -> {self.new_verdict}"
+                 if self.old_verdict != self.new_verdict
+                 else f"{self.new_verdict} (probe argument replaced "
+                      "by exact proof)")
+        return f"{self.bin_key}: {arrow}"
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "bin": self.bin_key,
+            "old_verdict": self.old_verdict,
+            "new_verdict": self.new_verdict,
+            "new_reason": self.new_reason,
+        }
+        if self.witness is not None:
+            out["witness"] = self.witness
+        return out
+
+
+@dataclass
+class UnrUpgrade:
+    """Summary of an exact-engine pass over one UNR report."""
+
+    config_name: str
+    unknown_before: int = 0
+    unknown_after: int = 0
+    deltas: List[UnrDelta] = field(default_factory=list)
+
+    @property
+    def unknown_free(self) -> bool:
+        return self.unknown_after == 0
+
+    def render(self) -> str:
+        lines = [
+            f"{self.config_name}: exact UNR upgrade — "
+            f"{self.unknown_before} unknown before, "
+            f"{self.unknown_after} after"
+        ]
+        lines.extend(f"  {d.render()}" for d in self.deltas)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "config": self.config_name,
+            "unknown_before": self.unknown_before,
+            "unknown_after": self.unknown_after,
+            "deltas": [d.to_dict() for d in self.deltas],
+        }
+
+
+def upgrade_unr_report(report: UnrReport, config: NodeConfig) -> UnrUpgrade:
+    """Replace probe-based verdicts with exact ones, in place.
+
+    Rewrites the ``decode:error`` / ``response:error`` bins (the only
+    ones the probe engine can leave UNKNOWN) with the interval-coverage
+    result and attaches the structured witness vector; the delta list
+    records every rewrite, including probe-REACHABLE verdicts whose
+    sampled witness is replaced by the exact one, so the golden file
+    pins the whole upgrade.
+    """
+    upgrade = UnrUpgrade(
+        config_name=report.config_name,
+        unknown_before=report.counts()[UNKNOWN],
+    )
+    verdict, reason, witness = exact_decode_verdict(config)
+    for cell in report.verdicts:
+        if (cell.group, cell.bin) in (("decode", "error"),
+                                      ("response", "error")):
+            upgrade.deltas.append(UnrDelta(
+                bin_key=cell.key,
+                old_verdict=cell.verdict,
+                new_verdict=verdict,
+                old_reason=cell.reason,
+                new_reason=reason,
+                witness=witness,
+            ))
+            cell.verdict = verdict
+            cell.reason = reason
+            cell.witness = witness
+    upgrade.unknown_after = report.counts()[UNKNOWN]
+    return upgrade

@@ -54,6 +54,11 @@ class BinVerdict:
     verdict: str
     reason: str  # witness (REACHABLE) or blocking constant (UNREACHABLE)
     in_model: bool  # present in the pruned per-config coverage model
+    #: Structured witness vector attached by the exact symbolic engine
+    #: (``--symbolic``); None on the plain probe-based pass, and then
+    #: absent from the serialized form so non-symbolic output is
+    #: byte-identical to earlier schema revisions.
+    witness: Optional[Dict[str, object]] = None
 
     @property
     def key(self) -> str:
@@ -65,13 +70,16 @@ class BinVerdict:
                 f"{self.reason}")
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "group": self.group,
             "bin": self.bin,
             "verdict": self.verdict,
             "reason": self.reason,
             "in_model": self.in_model,
         }
+        if self.witness is not None:
+            out["witness"] = self.witness
+        return out
 
 
 @dataclass

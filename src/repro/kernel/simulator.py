@@ -36,6 +36,9 @@ before a single cycle is simulated.
 
 from __future__ import annotations
 
+import ast
+import inspect
+import textwrap
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import (
@@ -105,6 +108,61 @@ class ProcessInfo:
     observed_reads: Set[Signal] = field(default_factory=set)
     observed_writes: Set[Signal] = field(default_factory=set)
     errors: List[Exception] = field(default_factory=list)
+    # Memoized source capture: False = not yet attempted, None = attempted
+    # and unavailable.  Populated lazily by source()/source_ast() so the
+    # registration and simulation hot paths never pay for inspect.
+    _source: object = field(default=False, repr=False, compare=False)
+    _source_ast: object = field(default=False, repr=False, compare=False)
+
+    def source(self) -> Optional[str]:
+        """Dedented source text of the process callable, or None.
+
+        Captured lazily via :func:`inspect.getsource` and memoized; a
+        process whose source is unavailable (builtins, callables defined
+        in a REPL, ``functools.partial`` objects) yields None — callers
+        such as the symbolic lifter degrade honestly instead of failing.
+        """
+        if self._source is False:
+            try:
+                self._source = textwrap.dedent(
+                    inspect.getsource(self.process)
+                )
+            except (OSError, TypeError):
+                self._source = None
+        return self._source  # type: ignore[return-value]
+
+    def source_ast(self) -> Optional[ast.AST]:
+        """Parsed AST of :meth:`source` (memoized), or None.
+
+        For a registered lambda the returned node is the ``ast.Lambda``
+        itself (the surrounding registration statement is stripped); for
+        ``def`` processes it is the ``ast.FunctionDef``.
+        """
+        if self._source_ast is False:
+            self._source_ast = None
+            text = self.source()
+            if text is not None:
+                try:
+                    tree = ast.parse(text)
+                except SyntaxError:
+                    # getsource() of a lambda returns the whole enclosing
+                    # statement, which may not parse standalone (e.g. a
+                    # dangling close-paren); retry below via the name.
+                    tree = None
+                if tree is not None:
+                    func = getattr(self.process, "__func__", self.process)
+                    wanted = getattr(func, "__name__", None)
+                    for node in ast.walk(tree):
+                        if wanted == "<lambda>":
+                            if isinstance(node, ast.Lambda):
+                                self._source_ast = node
+                                break
+                        elif (isinstance(node, (ast.FunctionDef,
+                                                ast.AsyncFunctionDef))
+                              and node.name == wanted):
+                            self._source_ast = node
+                            break
+        return self._source_ast  # type: ignore[return-value]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"ProcessInfo({self.kind}:{self.name!r})"

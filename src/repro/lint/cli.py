@@ -148,11 +148,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule_id in sorted(RULES):
-            rule = RULES[rule_id]
-            print(f"{rule_id:24s} {rule.severity.value:8s} {rule.summary}")
-        print(f"{'xview-interface':24s} {'error':8s} "
-              "RTL and BCA views must expose identical port interfaces")
+        from .diagnostics import format_rule_listing, rule_doc
+
+        entries = [
+            (rule_id, rule.severity.value, rule.summary,
+             rule_doc(rule.check))
+            for rule_id, rule in sorted(RULES.items())
+        ]
+        entries.append((
+            "xview-interface", "error",
+            "RTL and BCA views must expose identical port interfaces",
+            "Both views of one configuration must declare the same "
+            "ports with the same widths.",
+        ))
+        print(format_rule_listing(entries))
         return 0
 
     sources = [bool(args.config_dir), args.matrix, args.demo,

@@ -33,6 +33,36 @@ from ..analysis.waivers import (  # noqa: F401  (re-exported public API)
 SCHEMA_VERSION = 1
 
 
+def rule_doc(check) -> str:
+    """First paragraph of a rule check function's docstring, collapsed
+    onto one line ('' if none).
+
+    The ``--list-rules`` listings of both CLIs source their per-rule
+    documentation from here, so the docstring on the check function is
+    the single place a rule's one-line explanation lives.
+    """
+    doc = (getattr(check, "__doc__", None) or "").strip()
+    if not doc:
+        return ""
+    first_paragraph = doc.split("\n\n", 1)[0]
+    return " ".join(line.strip() for line in first_paragraph.splitlines())
+
+
+def format_rule_listing(entries) -> str:
+    """Render ``--list-rules`` output shared by the lint/analysis CLIs.
+
+    ``entries`` — iterable of ``(rule_id, severity, summary, doc)``; the
+    doc line (from :func:`rule_doc` or an explicit string for
+    pseudo-rules) is printed indented beneath its rule when non-empty.
+    """
+    lines: List[str] = []
+    for rule_id, severity, summary, doc in entries:
+        lines.append(f"{rule_id:24s} {severity:8s} {summary}")
+        if doc:
+            lines.append(f"{'':33s} {doc}")
+    return "\n".join(lines)
+
+
 class Severity(enum.Enum):
     """Finding severity; the regression flow fails fast on ERROR."""
 

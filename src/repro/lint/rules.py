@@ -67,6 +67,8 @@ def _rule(rule_id: str, severity: Severity, summary: str):
     "combinational feedback loop (would raise DeltaOverflowError)",
 )
 def check_comb_loop(graph: DesignGraph) -> List[Finding]:
+    """Flag combinational feedback cycles (process -> signal -> process)
+    that would raise DeltaOverflowError the moment they went active."""
     findings: List[Finding] = []
     cycles = graph.comb_cycles()
     for cycle in cycles:
@@ -121,6 +123,8 @@ def check_comb_loop(graph: DesignGraph) -> List[Finding]:
     "one signal with two or more registered driving processes",
 )
 def check_multi_driver(graph: DesignGraph) -> List[Finding]:
+    """Flag signals owned by two or more registered processes, plus
+    driver conflicts the kernel harvested during elaboration."""
     findings: List[Finding] = []
     reported = set()
     for sig, writers in graph.known_writers.items():
@@ -170,6 +174,8 @@ def check_multi_driver(graph: DesignGraph) -> List[Finding]:
     "combinational process reads a signal missing from its sensitivity list",
 )
 def check_incomplete_sensitivity(graph: DesignGraph) -> List[Finding]:
+    """Flag signals a comb process was observed reading but left out of
+    its sensitivity list, so the process misses their changes."""
     findings: List[Finding] = []
     for info in graph.comb:
         missing = info.observed_reads - set(info.sensitivity)
@@ -216,6 +222,8 @@ def _input_signals(graph: DesignGraph) -> List[Tuple[Signal, str]]:
     "signal read by a process but driven by nothing (floating pin)",
 )
 def check_undriven_input(graph: DesignGraph) -> List[Finding]:
+    """Flag signals consumed by some process but driven by none and
+    never toggled externally (a floating input pin)."""
     if not graph.clocked_writes_known:
         # An undeclared clocked process could drive anything; stay silent
         # rather than guess (declare `writes=` on every clocked process
@@ -254,6 +262,9 @@ def check_undriven_input(graph: DesignGraph) -> List[Finding]:
     "signal driven but never read, never in a sensitivity list, not traced",
 )
 def check_dead_net(graph: DesignGraph) -> List[Finding]:
+    """Flag driven-but-never-observed signals, exempting nets every
+    driver provably pins to a constant (declared tie-off, or a comb
+    output function the symbolic lifter proves closed)."""
     if graph.traced:
         return []  # a tracer observes every signal
     if not graph.clocked_reads_known:
@@ -265,12 +276,18 @@ def check_dead_net(graph: DesignGraph) -> List[Finding]:
             continue
         if graph.known_readers.get(sig) or graph.wakes.get(sig):
             continue
-        if sig in graph.tie_offs and all(
-            any(w is tied for tied, _ in graph.tie_offs[sig])
+        tied = graph.tie_offs.get(sig, [])
+        if all(
+            any(w is t for t, _ in tied)
+            or _proven_constant_drive(w, sig) is not None
             for w in writers
         ):
-            # Every driver declares a constant tie-off: the net is pinned
-            # on purpose (e.g. a BFM tying src to 0), not left dangling.
+            # Every driver pins the net to a constant — by an explicit
+            # tie-off declaration (e.g. a BFM tying src to 0) or by a
+            # lifted output function proven closed.  Pinned on purpose,
+            # not left dangling.  The lift runs only for candidates that
+            # already passed the never-observed filter, so clean designs
+            # pay nothing.
             continue
         names = ", ".join(sorted(w.name for w in writers))
         findings.append(
@@ -287,6 +304,22 @@ def check_dead_net(graph: DesignGraph) -> List[Finding]:
     return findings
 
 
+def _proven_constant_drive(info, sig: Signal):
+    """The constant ``info``'s lifted output function provably always
+    drives onto ``sig``, or None (unliftable / input-dependent / not a
+    comb process)."""
+    if info.kind != "comb":
+        return None
+    from ..analysis.symbolic.ir import evaluate, is_closed
+    from ..analysis.symbolic.lift import lift_process
+
+    lifted = lift_process(info)
+    assign = lifted.assign_for(sig.name)
+    if assign is None or not is_closed(assign.expr):
+        return None
+    return evaluate(assign.expr, {})
+
+
 # ---------------------------------------------------------------------------
 # width-mismatch
 # ---------------------------------------------------------------------------
@@ -297,6 +330,8 @@ def check_dead_net(graph: DesignGraph) -> List[Finding]:
     "a drive or stored value exceeds the signal's declared width",
 )
 def check_width_mismatch(graph: DesignGraph) -> List[Finding]:
+    """Flag drives whose value exceeds the target's declared bit width,
+    plus stored values that violate the width invariant."""
     findings: List[Finding] = []
     seen = set()
     for info, sig, value in graph.sim.width_events:

@@ -79,6 +79,14 @@ class CommonVerificationFlow:
     cross-view cones, UNR) after the lint gate; like lint, it runs before
     any cycle is simulated and error findings stop the flow.
 
+    ``symbolic`` strengthens that gate with the symbolic pass (and
+    implies ``analysis=True``): both views are lifted and every port must
+    be proven functionally RTL≡BCA-equivalent before a single cycle is
+    simulated.  When the current BCA drop carries known bugs the proof
+    fails statically — the flow records the disproof, applies the fix
+    (mirroring the dynamic "low alignment rate" loop, but without
+    running a regression first) and re-proves.
+
     ``telemetry`` (an optional
     :class:`~repro.telemetry.TelemetryConfig`) is threaded into every
     regression the flow runs; since the flow may iterate several times,
@@ -102,6 +110,7 @@ class CommonVerificationFlow:
         max_iterations: int = 4,
         lint: bool = True,
         analysis: bool = False,
+        symbolic: bool = False,
         jobs: int = 1,
         telemetry: Optional[TelemetryConfig] = None,
         resilience: Optional["ResilienceConfig"] = None,
@@ -113,7 +122,8 @@ class CommonVerificationFlow:
         self.bca_bugs = frozenset(initial_bca_bugs)
         self.max_iterations = max_iterations
         self.lint = lint
-        self.analysis = analysis
+        self.analysis = analysis or symbolic
+        self.symbolic = symbolic
         self.jobs = jobs
         self.telemetry = (
             telemetry if telemetry is not None else TelemetryConfig()
@@ -179,11 +189,29 @@ class CommonVerificationFlow:
 
         Races, CDC hazards and in-model-but-unreachable coverage bins
         are error-severity and block the flow; the UNR summary of the
-        pruned bins is recorded in the history either way.
+        pruned bins is recorded in the history either way.  With
+        ``symbolic`` on, the gate also demands a functional RTL≡BCA
+        equivalence proof per port — a disproof caused by the current
+        BCA bug set triggers the fix loop statically (no cycle run) and
+        the fixed model is re-proven.
         """
         from ..analysis import analyze_config
 
-        result = analyze_config(self.config)
+        result = analyze_config(
+            self.config, symbolic=self.symbolic,
+            bca_bugs=tuple(sorted(self.bca_bugs)),
+        )
+        if (self.symbolic and self.bca_bugs
+                and result.symbolic.mismatched_ports):
+            ports = result.symbolic.mismatched_ports
+            self._enter(
+                FlowState.STATIC_ANALYSIS,
+                f"symbolic RTL=BCA proof failed on {len(ports)} port(s) "
+                f"({', '.join(ports)}): fix the BCA model before "
+                "simulating",
+            )
+            self.bca_bugs = frozenset()  # the fix, applied statically
+            result = analyze_config(self.config, symbolic=True)
         if result.has_errors:
             bad = [
                 f for f in result.all_findings()
@@ -202,10 +230,22 @@ class CommonVerificationFlow:
             f"unreachable, {counts.get('UNKNOWN', 0)} unknown"
             if counts else ""
         )
+        sym_note = ""
+        if self.symbolic and result.symbolic is not None:
+            sym = result.symbolic
+            upgraded = (
+                len(sym.unr_upgrade.deltas)
+                if sym.unr_upgrade is not None else 0
+            )
+            sym_note = (
+                f"; symbolic: {len(sym.ports)} port(s) proven RTL=BCA "
+                f"equivalent, {upgraded} UNR verdict(s) upgraded to "
+                f"exact proofs, {sym.unknown_unr} UNKNOWN"
+            )
         self._enter(
             FlowState.STATIC_ANALYSIS,
             "no races, no clock-domain crossings, port cones equal "
-            f"across views{unr_note}",
+            f"across views{unr_note}{sym_note}",
         )
         return True
 

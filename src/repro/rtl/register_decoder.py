@@ -61,7 +61,10 @@ class RtlRegisterDecoder(Module):
             + [port.gnt, port.r_req, port.r_gnt, self._tick],
             writes=port.response_signals() + [self._tick],
         )
-        self.comb(lambda: self.port.gnt.drive(1), [self._tick])
+        self.comb(self._gnt_tie, [self._tick])
+
+    def _gnt_tie(self) -> None:
+        self.port.gnt.drive(1)
 
     # -- register access ---------------------------------------------------------
 

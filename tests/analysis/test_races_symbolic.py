@@ -1,0 +1,77 @@
+"""Symbolic strengthening of the tie-off-conflict rule.
+
+The declaration-only rule can only catch two *declared* tie-offs that
+disagree.  The previously-missed case: one process declares the net tied
+to a constant while a combinational writer provably drives a different
+constant — no second declaration exists, so the old rule stayed silent.
+The lifted output function closes that hole.
+"""
+
+from repro.analysis.runner import analyze_simulator
+from repro.kernel import Module, Simulator
+from repro.lint.diagnostics import Severity
+
+
+def _findings(sim, rule):
+    report = analyze_simulator(sim, design="t")
+    return [f for f in report.findings if f.rule == rule]
+
+
+def test_declared_tie_off_contradicted_by_proven_comb_constant():
+    sim = Simulator()
+    top = Module(sim, "t")
+    clk = top.signal("clk")
+    out = top.signal("out")
+    # The clocked process declares the net tied to 0; the comb process
+    # provably always drives 1.  No declaration pair conflicts, so the
+    # pre-symbolic rule missed this outright.
+    top.clocked(lambda: out.drive(0), name="zero",
+                reads=[clk], writes=[out], tie_offs={out: 0})
+    top.comb(lambda: out.drive(1), [clk], name="one")
+    findings = _findings(sim, "tie-off-conflict")
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.severity is Severity.ERROR
+    assert finding.signal == "t.out"
+    assert "declared tied to 0" in finding.message
+    assert "t.one" in finding.message
+    assert "drives 1" in finding.message
+
+
+def test_agreeing_proven_constant_is_fine():
+    sim = Simulator()
+    top = Module(sim, "t")
+    clk = top.signal("clk")
+    out = top.signal("out")
+    top.clocked(lambda: out.drive(1), name="one",
+                reads=[clk], writes=[out], tie_offs={out: 1})
+    top.comb(lambda: out.drive(1), [clk], name="also_one")
+    assert not _findings(sim, "tie-off-conflict")
+
+
+def test_input_dependent_comb_drive_is_not_accused():
+    """A comb drive whose value depends on an input is not a constant;
+    the rule must not guess from one observed evaluation."""
+    sim = Simulator()
+    top = Module(sim, "t")
+    sel = top.signal("sel")
+    out = top.signal("out")
+    top.clocked(lambda: out.drive(0), name="zero",
+                reads=[sel], writes=[out], tie_offs={out: 0})
+    top.comb(lambda: out.drive(int(sel)), [sel], name="follow")
+    assert not _findings(sim, "tie-off-conflict")
+
+
+def test_unliftable_comb_writer_stays_silent():
+    """Honest degradation: an OPAQUE comb writer proves nothing, so no
+    conflict may be reported from it."""
+    state = {"v": 1}
+    sim = Simulator()
+    top = Module(sim, "t")
+    clk = top.signal("clk")
+    out = top.signal("out")
+    top.clocked(lambda: out.drive(0), name="zero",
+                reads=[clk], writes=[out], tie_offs={out: 0})
+    # Dict subscripts are outside the lifted subset -> OPAQUE.
+    top.comb(lambda: out.drive(state["v"]), [clk], name="mystery")
+    assert not _findings(sim, "tie-off-conflict")

@@ -1,0 +1,57 @@
+"""Symbolic constant facts: closed comb output functions as constants."""
+
+from repro.analysis.symbolic.consts import (
+    comb_constant_drive,
+    symbolic_comb_constants,
+)
+from repro.kernel import Module, Simulator
+
+
+def _sim():
+    sim = Simulator()
+    top = Module(sim, "t")
+    clk = top.signal("clk")
+    return sim, top, clk
+
+
+def test_closed_comb_drive_is_a_constant_fact():
+    sim, top, clk = _sim()
+    out = top.signal("out", width=4)
+    top.comb(lambda: out.drive(2 + 3), [clk], name="tie")
+    sim.elaborate()
+    facts = symbolic_comb_constants(sim)
+    assert "t.out" in facts
+    value, reason = facts["t.out"]
+    assert value == 5
+    assert "symbolic" in reason
+    assert comb_constant_drive(sim, "t.out") == 5
+
+
+def test_input_dependent_drive_is_not_a_constant():
+    sim, top, clk = _sim()
+    out = top.signal("out")
+    top.comb(lambda: out.drive(clk.value), [clk], name="follow")
+    sim.elaborate()
+    assert "t.out" not in symbolic_comb_constants(sim)
+    assert comb_constant_drive(sim, "t.out") is None
+
+
+def test_clocked_co_writer_disqualifies_the_fact():
+    """Sole ownership is required: a clocked writer can override the
+    comb constant in a later cycle, so no fact may be claimed."""
+    sim, top, clk = _sim()
+    out = top.signal("out")
+    top.comb(lambda: out.drive(1), [clk], name="tie")
+    top.clocked(lambda: out.drive(0), name="override",
+                reads=[clk], writes=[out])
+    sim.elaborate()
+    assert "t.out" not in symbolic_comb_constants(sim)
+
+
+def test_opaque_writer_disqualifies_the_fact():
+    state = {"v": 1}
+    sim, top, clk = _sim()
+    out = top.signal("out")
+    top.comb(lambda: out.drive(state["v"]), [clk], name="mystery")
+    sim.elaborate()
+    assert "t.out" not in symbolic_comb_constants(sim)

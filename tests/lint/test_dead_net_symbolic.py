@@ -1,0 +1,69 @@
+"""Symbolic strengthening of the dead-net rule.
+
+Before the symbolic pass, only *declared* tie-offs exempted a
+driven-but-never-observed net — a combinational process pinning a net to
+a constant without declaring it produced a false dead-net warning.  The
+lifted output function now proves the pin, so the warning is reserved
+for nets that are genuinely dangling.
+"""
+
+from repro.kernel import Module, Simulator
+from repro.lint.runner import lint_simulator
+
+
+def _dead_nets(sim):
+    report = lint_simulator(sim, design="t")
+    return [f for f in report.findings if f.rule == "dead-net"]
+
+
+def _base(sim):
+    """A design where the dead-net rule is armed: all clocked reads
+    declared, nothing traced."""
+    top = Module(sim, "t")
+    clk = top.signal("clk")
+    sink = top.signal("sink")
+    top.clocked(lambda: sink.drive(int(clk) ^ int(sink)), name="reg",
+                reads=[clk, sink], writes=[sink])
+    return top, clk
+
+
+def test_proven_constant_pin_is_exempt_without_declaration():
+    sim = Simulator()
+    top, clk = _base(sim)
+    pin = top.signal("pin")
+    # Constantly driven, never read, never declared as a tie-off: the
+    # old rule warned here; the lifted proof now exempts it.
+    top.comb(lambda: pin.drive(1), [clk], name="tie")
+    assert not _dead_nets(sim)
+
+
+def test_input_dependent_dead_net_still_warns():
+    sim = Simulator()
+    top, clk = _base(sim)
+    dangling = top.signal("dangling")
+    top.comb(lambda: dangling.drive(int(clk)), [clk], name="drv")
+    findings = _dead_nets(sim)
+    assert len(findings) == 1
+    assert findings[0].signal == "t.dangling"
+
+
+def test_unliftable_constant_still_warns():
+    """An OPAQUE writer proves nothing — the net may or may not be
+    pinned, so the warning must survive."""
+    state = {"v": 1}
+    sim = Simulator()
+    top, clk = _base(sim)
+    pin = top.signal("pin")
+    top.comb(lambda: pin.drive(state["v"]), [clk], name="mystery")
+    findings = _dead_nets(sim)
+    assert len(findings) == 1
+    assert findings[0].signal == "t.pin"
+
+
+def test_declared_tie_off_exemption_still_holds():
+    sim = Simulator()
+    top, clk = _base(sim)
+    pin = top.signal("pin")
+    top.clocked(lambda: pin.drive(0), name="tie",
+                reads=[clk], writes=[pin], tie_offs={pin: 0})
+    assert not _dead_nets(sim)
