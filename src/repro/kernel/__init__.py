@@ -13,6 +13,7 @@ from .signal import (
     Signal,
     SignalError,
     WidthError,
+    multiple_driver_message,
 )
 from .simulator import (
     MAX_DELTAS,
@@ -22,8 +23,13 @@ from .simulator import (
     Simulator,
     SimulatorError,
     Tracer,
+    delta_overflow_message,
 )
 from .module import Module
+
+# The compiled levelized kernel lives in repro.kernel.compiled and is
+# imported on demand (it pulls in the static-analysis layer, which this
+# package must not depend on at import time).
 
 __all__ = [
     "Signal",
@@ -38,4 +44,6 @@ __all__ = [
     "Tracer",
     "Module",
     "MAX_DELTAS",
+    "multiple_driver_message",
+    "delta_overflow_message",
 ]

@@ -1,0 +1,534 @@
+"""Compiled levelized kernel: straight-line cycles instead of delta loops.
+
+The interpreted scheduler settles combinational logic by iterating the
+delta loop to fixpoint every clock cycle — every wave re-derives who to
+wake, re-runs the commit scan, and re-executes processes whose inputs
+settled waves ago.  For logic the static dataflow graph
+(:mod:`repro.analysis.dataflow`) can prove acyclic, that fixpoint is
+unique and reachable in one topologically-ordered pass; this module
+computes that order once, after :meth:`~repro.kernel.Simulator.elaborate`,
+and replaces the per-cycle loop with it.
+
+Three layers stack on the static schedule:
+
+1. **Levelized execution** — clocked processes run and commit, then each
+   level of combinational processes runs exactly once, in ascending
+   level order, with one commit per level.  Strongly-connected comb
+   subgraphs ("islands") keep a local delta loop at their level, so a
+   design with real feedback still simulates — honest degradation, never
+   wrong answers.
+2. **Closure specialization** — the per-cycle body is emitted as one
+   generated Python function with the process callables, sensitivity
+   frozensets and level structure bound as locals of its namespace:
+   no per-cycle list walks, dict lookups or bound-method re-resolution.
+   (With per-process timing enabled, a generic interpreter path with the
+   same semantics runs instead.)
+3. **Dirty-cone scheduling** — each straight-line process runs only when
+   the cycle's accumulated changed-signal set intersects its sensitivity
+   list, and a level none of whose processes are dirty is skipped
+   entirely (counted in ``stat_levels_skipped``).
+
+Why the results are byte-identical to the interpreted kernel: processes
+commit through the same :meth:`Simulator._commit_all`, combinational
+processes are pure functions of committed signal values within the
+settle phase (the contract the whole environment is built on), and an
+acyclic dataflow has exactly one fixpoint — so end-of-cycle values, the
+per-cycle changed set the VCD writer samples, and every report derived
+from them are unchanged.  Diagnostics go through the shared formatting
+helpers (:func:`repro.kernel.multiple_driver_message`,
+:func:`repro.kernel.delta_overflow_message`), so error text matches too.
+
+The schedule trusts the elaboration dry run's *observed* write sets.  A
+process with a data-dependent write the dry run never saw could break
+the ordering, so the kernel guards every level's commit: a changed
+signal that wakes a unit at the current level or below contradicts the
+schedule, and the cycle falls back to the interpreted delta loop
+(:meth:`Simulator._settle_changed`) seeded with everything changed so
+far — the reference semantics finish the cycle.  Guarded fallback makes
+the compiled kernel safe on *any* design, not just provably-complete
+ones.
+
+Drive elision rides along: a signal every clocked process declared its
+writes against and that has at most one known writer can skip redundant
+re-drives of its current value (see
+:class:`~repro.kernel.signal._ElidingSignal`) — on the stock node that
+removes ~5/6 of all scheduled commits.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from .signal import Signal, _ElidingSignal, _FastSignal
+from .simulator import (
+    MAX_DELTAS,
+    DeltaOverflowError,
+    ElaborationError,
+    ProcessInfo,
+    Simulator,
+    delta_overflow_message,
+)
+
+#: Engine-selection values accepted by the environment and CLI.
+KERNELS = ("delta", "compiled", "auto")
+
+
+class _Island:
+    """Execution state for one strongly-connected comb subgraph."""
+
+    __slots__ = ("level", "procs", "sens_union", "wakes", "guard", "names")
+
+    def __init__(self, level: int,
+                 procs: List[Tuple[Callable[[], None], ProcessInfo,
+                                   FrozenSet[Signal]]]) -> None:
+        self.level = level
+        self.procs = procs
+        self.sens_union: FrozenSet[Signal] = frozenset().union(
+            *(sens for _, _, sens in procs)
+        ) if procs else frozenset()
+        #: signal -> member positions woken by it, in the simulator's
+        #: sensitivity registration order (mirrors the delta loop's wake
+        #: ordering for identical process execution order).
+        self.wakes: Dict[Signal, Tuple[int, ...]] = {}
+        #: signals that, when changed by this island, wake a *different*
+        #: unit at this level or below — a schedule contradiction.
+        self.guard: FrozenSet[Signal] = frozenset()
+        self.names = tuple(info.name for _, info, _ in procs)
+
+
+class CompiledKernel:
+    """Static levelized scheduler attached to an elaborated simulator.
+
+    Build one with :func:`compile_simulator` (or :func:`maybe_compile`
+    for string-valued engine selection).  While attached, each
+    :meth:`Simulator.step` delegates its posedge/commit/settle body to
+    :meth:`cycle`; :meth:`detach` restores the interpreted delta loop.
+
+    Parameters
+    ----------
+    sim:
+        An elaborated simulator.
+    specialize:
+        Emit the per-design specialized cycle closure (default).  With
+        ``False`` — or whenever per-process timing is enabled — a
+        generic interpreter with identical semantics runs instead.
+    dirty_cones:
+        Skip straight-line processes whose sensitivity sets are disjoint
+        from the cycle's accumulated changed set (default).  With
+        ``False`` every scheduled process runs every non-idle cycle —
+        values are still identical (pure processes re-drive what they
+        already drove); only the activation counts grow.
+    """
+
+    def __init__(self, sim: Simulator, *, specialize: bool = True,
+                 dirty_cones: bool = True) -> None:
+        if not sim.elaborated:
+            raise ElaborationError(
+                "compile_simulator() needs an elaborated simulator"
+            )
+        # Imported here, not at module top: the analysis layer imports
+        # repro.kernel right back, and this module must stay importable
+        # while the kernel package initializes.
+        from ..analysis.dataflow import levelize_comb
+        from ..lint.graph import DesignGraph
+
+        self.sim = sim
+        self.specialize = specialize
+        self.dirty_cones = dirty_cones
+        self.design = DesignGraph(sim)
+        self.schedule = levelize_comb(self.design)
+        #: cycles finished by the interpreted loop after a guard hit.
+        self.fallback_cycles = 0
+        #: signals switched to redundant-drive elision at attach time.
+        self.elided: Tuple[Signal, ...] = tuple(self._elidable_signals())
+        self._build_plan()
+        self._cycle_fn: Callable[[], None] = (
+            self._emit() if specialize else self._generic_cycle
+        )
+        self._attached = False
+
+    # -- construction --------------------------------------------------------
+
+    def _elidable_signals(self) -> List[Signal]:
+        """Signals proven single-writer, safe for drive elision.
+
+        Requires the clocked write universe to be complete (every
+        clocked process declared its writes) so the known-writer index
+        is trustworthy; a signal with two or more known writers keeps
+        full :class:`MultipleDriverError` bookkeeping.
+        """
+        if not self.design.clocked_writes_known:
+            return []
+        writers = self.design.known_writers
+        return [
+            sig for sig in self.sim.signals
+            if len(writers.get(sig, ())) <= 1 and type(sig) is _FastSignal
+        ]
+
+    def _build_plan(self) -> None:
+        sim = self.sim
+        sched = self.schedule
+        comb = sim._comb
+
+        def bind(info: ProcessInfo):
+            return (comb[info.index], info, frozenset(info.sensitivity))
+
+        #: per level: straight-line (proc, info, sens) triples.
+        self._levels: List[List[Tuple[Callable[[], None], ProcessInfo,
+                                      FrozenSet[Signal]]]] = [
+            [bind(info) for info in level] for level in sched.levels
+        ]
+        self._n_straight_levels = sum(1 for lv in self._levels if lv)
+        self._islands: List[_Island] = []
+        for island in sched.islands:
+            entry = _Island(island.level, [bind(i) for i in island.members])
+            member_pos = {info.index: pos
+                          for pos, (_, info, _) in enumerate(entry.procs)}
+            for sig in entry.sens_union:
+                positions = tuple(
+                    member_pos[idx]
+                    for idx in sim._sensitivity.get(sig, ())
+                    if idx in member_pos
+                )
+                if positions:
+                    entry.wakes[sig] = positions
+            self._islands.append(entry)
+        #: islands indexed per level, in deterministic order.
+        n_levels = max(
+            [len(self._levels)] + [i.level + 1 for i in self._islands]
+        ) if (self._levels or self._islands) else 0
+        while len(self._levels) < n_levels:
+            self._levels.append([])
+        self._level_islands: List[List[int]] = [[] for _ in range(n_levels)]
+        for k, island in enumerate(self._islands):
+            self._level_islands[island.level].append(k)
+
+        # Guard sets.  A *unit* is a straight process or an island; a
+        # signal's minimum wake level is the lowest level of any unit
+        # sensitive to it.  A commit at the end of level L that changes
+        # a signal with min-wake <= L means a unit that already ran (or
+        # is running) should have seen it — the schedule missed a write.
+        units: List[Tuple[int, FrozenSet[Signal], Optional[int]]] = []
+        for lv, procs in enumerate(self._levels):
+            for _, _, sens in procs:
+                units.append((lv, sens, None))
+        for k, island in enumerate(self._islands):
+            units.append((island.level, island.sens_union, k))
+        min_wake: Dict[Signal, int] = {}
+        for lv, sens, _ in units:
+            for sig in sens:
+                cur = min_wake.get(sig)
+                if cur is None or lv < cur:
+                    min_wake[sig] = lv
+        self._guards: List[FrozenSet[Signal]] = [
+            frozenset(s for s, lv in min_wake.items() if lv <= L)
+            for L in range(n_levels)
+        ]
+        for k, island in enumerate(self._islands):
+            island.guard = frozenset(
+                sig
+                for lv, sens, island_id in units
+                if lv <= island.level and island_id != k
+                for sig in sens
+            )
+
+    def _emit(self) -> Callable[[], None]:
+        """Generate the specialized per-design cycle closure.
+
+        The emitted function unrolls the clocked calls and per-level
+        dirty checks with every process callable, sensitivity frozenset
+        and guard set pre-bound in its globals — the per-cycle path does
+        no dict lookups, no list iteration over registration tables, and
+        no attribute chains beyond the simulator's own counters.
+        """
+        sim = self.sim
+        ns: Dict[str, object] = {
+            "SIM": sim,
+            "COMMIT": sim._commit_all,
+            "FALLBACK": self._fallback,
+            "ISLAND": self._run_island,
+        }
+        lines = ["def cycle():", "    sim = SIM"]
+        for i, proc in enumerate(sim._clocked):
+            ns[f"C{i}"] = proc
+            lines.append(f"    sim.active_process = C{i}")
+            lines.append(f"    C{i}()")
+        if sim._clocked:
+            lines.append("    sim.active_process = None")
+            lines.append(
+                f"    sim.stat_activations += {len(sim._clocked)}"
+            )
+        lines.append("    changed = COMMIT()")
+        lines.append("    if not changed:")
+        lines.append(
+            f"        sim.stat_levels_skipped += {self._n_straight_levels}"
+        )
+        lines.append("        return")
+        lines.append("    dirty = set(changed)")
+        for L, procs in enumerate(self._levels):
+            if procs:
+                lines.append(f"    ran = 0  # level {L}")
+                for _, info, _ in procs:
+                    j = info.index
+                    ns[f"P{j}"] = sim._comb[j]
+                    if self.dirty_cones:
+                        ns[f"S{j}"] = frozenset(info.sensitivity)
+                        lines.append(f"    if not S{j}.isdisjoint(dirty):")
+                        lines.append(f"        sim.active_process = P{j}")
+                        lines.append(f"        P{j}()")
+                        lines.append("        ran += 1")
+                    else:
+                        lines.append(f"    sim.active_process = P{j}")
+                        lines.append(f"    P{j}()")
+                        lines.append("    ran += 1")
+                lines.append("    if ran:")
+                lines.append("        sim.stat_activations += ran")
+                lines.append("        sim.active_process = None")
+                lines.append("        sim.stat_levels_evaluated += 1")
+                lines.append("        new = COMMIT()")
+                lines.append("        if new:")
+                if self._guards[L]:
+                    ns[f"G{L}"] = self._guards[L]
+                    lines.append(
+                        f"            if not G{L}.isdisjoint(new):"
+                    )
+                    lines.append("                FALLBACK(dirty, new)")
+                    lines.append("                return")
+                lines.append("            dirty.update(new)")
+                lines.append("    else:")
+                lines.append("        sim.stat_levels_skipped += 1")
+            for k in self._level_islands[L]:
+                ns[f"IS{k}"] = self._islands[k].sens_union
+                lines.append(f"    if not IS{k}.isdisjoint(dirty):")
+                lines.append(f"        if ISLAND({k}, dirty):")
+                lines.append("            return")
+        self.source = "\n".join(lines) + "\n"
+        exec(compile(self.source, "<repro.kernel.compiled>", "exec"), ns)
+        return ns["cycle"]  # type: ignore[return-value]
+
+    # -- attachment ----------------------------------------------------------
+
+    def attach(self) -> "CompiledKernel":
+        """Install this kernel on the simulator (idempotent)."""
+        if self.sim._compiled is self:
+            return self
+        if self.sim._compiled is not None:
+            raise ElaborationError(
+                "a compiled kernel is already attached to this simulator"
+            )
+        for sig in self.elided:
+            sig.__class__ = _ElidingSignal
+        self.sim._compiled = self
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        """Restore the interpreted delta loop (and plain fast signals)."""
+        if self.sim._compiled is self:
+            self.sim._compiled = None
+            for sig in self.elided:
+                sig.__class__ = _FastSignal
+        self._attached = False
+
+    # -- execution -----------------------------------------------------------
+
+    def cycle(self) -> None:
+        """One clock cycle: posedge, commit, levels in order.
+
+        Called by :meth:`Simulator.step`; sampling and ``now`` stay in
+        the simulator.  Per-process timing forces the generic path (the
+        specialized closure has no timing brackets, by design).
+        """
+        if self.sim._proc_times is not None:
+            self._generic_cycle()
+        else:
+            self._cycle_fn()
+
+    def _generic_cycle(self) -> None:
+        """Interpreter twin of the emitted closure (same semantics)."""
+        sim = self.sim
+        times = sim._proc_times
+        if times is None:
+            for proc in sim._clocked:
+                sim.active_process = proc
+                proc()
+        else:
+            for info in sim.clocked_processes:
+                sim.active_process = info.process
+                start = perf_counter()
+                info.process()
+                cell = times.get(info.name)
+                if cell is None:
+                    times[info.name] = cell = [0, 0.0]
+                cell[0] += 1
+                cell[1] += perf_counter() - start
+        sim.active_process = None
+        sim.stat_activations += len(sim._clocked)
+        changed = sim._commit_all()
+        if not changed:
+            sim.stat_levels_skipped += self._n_straight_levels
+            return
+        dirty = set(changed)
+        dirty_cones = self.dirty_cones
+        for L, procs in enumerate(self._levels):
+            if procs:
+                ran = 0
+                for proc, info, sens in procs:
+                    if dirty_cones and sens.isdisjoint(dirty):
+                        continue
+                    sim.active_process = proc
+                    if times is None:
+                        proc()
+                    else:
+                        start = perf_counter()
+                        proc()
+                        cell = times.get(info.name)
+                        if cell is None:
+                            times[info.name] = cell = [0, 0.0]
+                        cell[0] += 1
+                        cell[1] += perf_counter() - start
+                    ran += 1
+                if ran:
+                    sim.stat_activations += ran
+                    sim.active_process = None
+                    sim.stat_levels_evaluated += 1
+                    new = sim._commit_all()
+                    if new:
+                        guard = self._guards[L]
+                        if guard and not guard.isdisjoint(new):
+                            self._fallback(dirty, new)
+                            return
+                        dirty.update(new)
+                else:
+                    sim.stat_levels_skipped += 1
+            for k in self._level_islands[L]:
+                if not self._islands[k].sens_union.isdisjoint(dirty):
+                    if self._run_island(k, dirty):
+                        return
+
+    def _run_island(self, k: int, dirty: set) -> bool:
+        """Settle island ``k`` with a local delta loop.
+
+        Returns True when a guard violation handed the rest of the cycle
+        to the interpreted loop.  The loop mirrors the global delta
+        loop's wake ordering (commit order x sensitivity registration
+        order) so a non-settling island raises the same
+        :class:`DeltaOverflowError` text the interpreted kernel would.
+        """
+        island = self._islands[k]
+        sim = self.sim
+        times = sim._proc_times
+        procs = island.procs
+        pending = [entry for entry in procs
+                   if not entry[2].isdisjoint(dirty)]
+        net: set = set()
+        changed: List[Signal] = []
+        deltas = 0
+        while pending:
+            deltas += 1
+            if deltas > MAX_DELTAS:
+                raise DeltaOverflowError(
+                    delta_overflow_message(changed or sorted(
+                        dirty, key=lambda s: s.name))
+                )
+            sim.stat_activations += len(pending)
+            for proc, info, _ in pending:
+                sim.active_process = proc
+                if times is None:
+                    proc()
+                else:
+                    start = perf_counter()
+                    proc()
+                    cell = times.get(info.name)
+                    if cell is None:
+                        times[info.name] = cell = [0, 0.0]
+                    cell[0] += 1
+                    cell[1] += perf_counter() - start
+            sim.active_process = None
+            changed = sim._commit_all()
+            if not changed:
+                break
+            net.update(changed)
+            woken: List[int] = []
+            seen: set = set()
+            for sig in changed:
+                for pos in island.wakes.get(sig, ()):
+                    if pos not in seen:
+                        seen.add(pos)
+                        woken.append(pos)
+            pending = [procs[pos] for pos in woken]
+        sim.stat_deltas += deltas
+        if net:
+            if island.guard and not island.guard.isdisjoint(net):
+                self._fallback(dirty, net)
+                return True
+            dirty.update(net)
+        return False
+
+    def _fallback(self, dirty: set, new) -> None:
+        """Finish the cycle with the interpreted delta loop.
+
+        Called when a commit contradicted the static schedule (a signal
+        changed that wakes an already-evaluated level).  Seeding the
+        loop with *everything* changed so far re-wakes every process
+        sensitive to any of it; straight-line processes that already ran
+        with final inputs re-run idempotently (they are pure), and the
+        fixpoint the loop converges to is the reference one.
+        """
+        self.fallback_cycles += 1
+        dirty.update(new)
+        # Sorted seed: set iteration order varies across interpreter
+        # runs (signals hash by id); name order keeps replays stable.
+        self.sim._settle_changed(sorted(dirty, key=lambda s: s.name))
+
+    # -- introspection -------------------------------------------------------
+
+    def describe(self) -> Dict[str, object]:
+        """Summary of what compiled how (for tests and benchmarks)."""
+        info = self.schedule.describe()
+        info.update(
+            specialize=self.specialize,
+            dirty_cones=self.dirty_cones,
+            elided_signals=len(self.elided),
+            fallback_cycles=self.fallback_cycles,
+        )
+        return info
+
+
+def compile_simulator(sim: Simulator, *, specialize: bool = True,
+                      dirty_cones: bool = True) -> CompiledKernel:
+    """Levelize ``sim``'s combinational logic and attach the kernel.
+
+    Always succeeds on an elaborated simulator: subgraphs that cannot be
+    ordered statically become islands with local delta loops, and the
+    runtime guard covers incomplete observed-write knowledge, so the
+    compiled kernel never produces different results — at worst it
+    degrades to interpreted speed.
+    """
+    return CompiledKernel(
+        sim, specialize=specialize, dirty_cones=dirty_cones
+    ).attach()
+
+
+def maybe_compile(sim: Simulator, kernel: str, *, specialize: bool = True,
+                  dirty_cones: bool = True) -> Optional[CompiledKernel]:
+    """Engine selection by name: ``delta`` | ``compiled`` | ``auto``.
+
+    ``delta`` returns None (interpreted loop).  ``compiled`` always
+    attaches.  ``auto`` attaches only when the whole comb graph
+    levelized with no islands — i.e. when the straight-line pass can
+    actually retire the delta loop; otherwise it stays interpreted.
+    """
+    if kernel not in KERNELS:
+        raise ValueError(
+            f"kernel must be one of {KERNELS}, got {kernel!r}"
+        )
+    if kernel == "delta":
+        return None
+    compiled = CompiledKernel(
+        sim, specialize=specialize, dirty_cones=dirty_cones
+    )
+    if kernel == "auto" and not compiled.schedule.acyclic:
+        return None
+    return compiled.attach()

@@ -52,6 +52,23 @@ class WidthError(SignalError):
     """A value outside the representable range was driven onto a signal."""
 
 
+def multiple_driver_message(
+    name: str, held: int, held_by: str, value: int, new_by: str
+) -> str:
+    """The canonical :class:`MultipleDriverError` text.
+
+    Every drive path — the guarded elaboration accessors, the
+    post-elaboration fast path, and the compiled levelized kernel —
+    formats conflicts through this one helper, so the diagnostics carry
+    identical process names and wording regardless of how the design is
+    being scheduled.
+    """
+    return (
+        f"signal {name!r}: driven to {held} by process {held_by} and to "
+        f"{value} by process {new_by} in the same delta cycle"
+    )
+
+
 class Signal:
     """A named, fixed-width, 2-state wire with deferred-commit semantics.
 
@@ -170,9 +187,9 @@ class Signal:
                     held_by = repr(self._writer)
                     new_by = repr(writer)
                 raise MultipleDriverError(
-                    f"signal {self.name!r}: driven to {self._next} by process "
-                    f"{held_by} and to {value} by process {new_by} in the "
-                    "same delta cycle"
+                    multiple_driver_message(
+                        self.name, self._next, held_by, value, new_by
+                    )
                 )
             self._next = value
             self._writer = writer
@@ -295,10 +312,11 @@ class _FastSignal(Signal):
         if self._pending:
             if self._next != value and self._writer is not writer:
                 raise MultipleDriverError(
-                    f"signal {self.name!r}: driven to {self._next} by process "
-                    f"{sim.process_label(self._writer)} and to {value} by "
-                    f"process {sim.process_label(writer)} in the "
-                    "same delta cycle"
+                    multiple_driver_message(
+                        self.name, self._next,
+                        sim.process_label(self._writer),
+                        value, sim.process_label(writer),
+                    )
                 )
             self._next = value
             self._writer = writer
@@ -310,6 +328,44 @@ class _FastSignal(Signal):
 
     # ``next`` is re-declared so the setter dispatches to the fast drive
     # without an extra method-resolution hop through the base property.
+    @property
+    def next(self) -> int:
+        return self._next
+
+    @next.setter
+    def next(self, value: int) -> None:
+        self.drive(value)
+
+
+class _ElidingSignal(_FastSignal):
+    """Fast signal that elides redundant re-drives of the current value.
+
+    Used by the compiled levelized kernel, and only on signals it can
+    prove have at most one writer (every clocked process declared its
+    write set and the known-writer index holds <= 1 entry).  Driving the
+    already-committed value with nothing pending is then a no-op: the
+    interpreted kernel would schedule the write, commit it, and observe
+    no toggle — same values, same wakes, same VCD bytes — so skipping
+    the schedule/commit round trip is pure overhead removal.
+
+    The single-writer proof matters: on a multi-writer signal an elided
+    first drive would erase the evidence a conflicting second drive is
+    checked against, masking a :class:`MultipleDriverError` the
+    interpreted kernel raises.  Multi-writer signals therefore keep
+    :class:`_FastSignal` semantics.  Elided drives also skip the
+    ``drivers`` bookkeeping (there is no new fact to record: an elided
+    writer has driven the signal before or never changes it).
+    """
+
+    __slots__ = ()
+
+    def drive(self, value: int) -> None:
+        if type(value) is not int:
+            value = int(value)
+        if not self._pending and value == self._value:
+            return
+        _FastSignal.drive(self, value)
+
     @property
     def next(self) -> int:
         return self._next

@@ -53,6 +53,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for the batch (default: 1, "
                              "serial; 0 = one per available CPU); the "
                              "summary is byte-identical for any N")
+    parser.add_argument("--kernel", default="delta",
+                        choices=["delta", "compiled", "auto"],
+                        help="simulation engine: the interpreted delta "
+                             "loop (default), the compiled levelized "
+                             "kernel, or auto (compiled only when the "
+                             "design levelizes with no feedback); every "
+                             "artifact is byte-identical across engines")
     parser.add_argument("--no-compare", action="store_true",
                         help="skip the bus-accurate comparison")
     parser.add_argument("--skip-lint", action="store_true",
@@ -200,6 +207,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             resume=args.resume,
         ),
         unr=args.unr,
+        kernel=args.kernel,
     )
     try:
         report = runner.run()

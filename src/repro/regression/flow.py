@@ -114,6 +114,7 @@ class CommonVerificationFlow:
         jobs: int = 1,
         telemetry: Optional[TelemetryConfig] = None,
         resilience: Optional["ResilienceConfig"] = None,
+        kernel: str = "delta",
     ):
         self.config = config
         self.tests = tests
@@ -125,6 +126,7 @@ class CommonVerificationFlow:
         self.analysis = analysis or symbolic
         self.symbolic = symbolic
         self.jobs = jobs
+        self.kernel = kernel
         self.telemetry = (
             telemetry if telemetry is not None else TelemetryConfig()
         )
@@ -260,6 +262,7 @@ class CommonVerificationFlow:
             [self.config], tests=self.tests, seeds=self.seeds,
             workdir=self.workdir, bca_bugs=self.bca_bugs,
             jobs=self.jobs, telemetry=telemetry, resilience=resilience,
+            kernel=self.kernel,
         )
         return runner.run().configs[0]
 

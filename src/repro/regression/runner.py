@@ -24,7 +24,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..analyzer import AlignmentReport, compare_vcds
 from ..catg.coverage import CoverageModel, build_node_coverage
-from ..catg.env import RunResult
+from ..catg.env import KERNELS, RunResult
 from ..ioutil import atomic_write
 from ..stbus import NodeConfig
 from ..telemetry import BatchTelemetry, TelemetryConfig
@@ -314,6 +314,7 @@ class RegressionRunner:
         telemetry: Optional[TelemetryConfig] = None,
         resilience: Optional[ResilienceConfig] = None,
         unr: bool = False,
+        kernel: str = "delta",
     ):
         self.configs = list(configs)
         self.tests = list(tests) if tests is not None else list(TESTCASES)
@@ -338,6 +339,12 @@ class RegressionRunner:
         #: default: with it off, every artifact stays byte-identical to a
         #: runner without the feature.
         self.unr = unr
+        if kernel not in KERNELS:
+            raise ValueError(f"kernel must be one of {KERNELS}")
+        #: Simulation engine every run executes under; artifacts are
+        #: byte-identical across engines, so it is deliberately excluded
+        #: from the resume journal's batch signature.
+        self.kernel = kernel
         if workdir:
             os.makedirs(workdir, exist_ok=True)
 
@@ -386,6 +393,7 @@ class RegressionRunner:
             telemetry=telemetry,
             time_processes=telemetry and self.telemetry.time_processes,
             submitted_at=time.time() if telemetry else None,
+            kernel=self.kernel,
         )
 
     def _entry_keys(self) -> List[Tuple[int, str, int]]:
@@ -546,6 +554,7 @@ class RegressionRunner:
             with_arbitration_checker=self.with_arbitration_checker,
             jobs=self.jobs, telemetry=self.telemetry,
             resilience=self.resilience, unr=self.unr,
+            kernel=self.kernel,
         )
         return sub.run().configs[0]
 

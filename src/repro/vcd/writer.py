@@ -95,7 +95,10 @@ class VcdWriter(Tracer):
         self.timescale_ns = timescale_ns
         self._signals: List[Signal] = []
         self._order: Dict[Signal, int] = {}
-        self._last: Dict[str, int] = {}
+        # Last-emitted value per signal, keyed by the Signal object
+        # itself (identity hash): the per-sample loop then skips the
+        # ``vcd_id`` attribute load and string hash on every candidate.
+        self._last: Dict[Signal, int] = {}
         self._header_written = False
         self._finished = False
         #: Characters flushed to the stream so far (the output is ASCII,
@@ -158,9 +161,9 @@ class VcdWriter(Tracer):
         changes: List[str] = []
         last = self._last
         for sig in candidates:
-            value = sig.value
-            if last.get(sig.vcd_id) != value:
-                last[sig.vcd_id] = value
+            value = sig._value
+            if last.get(sig) != value:
+                last[sig] = value
                 changes.append(_format_value(value, sig.width, sig.vcd_id))
         if changes or cycle == 0:
             self._w(f"#{cycle * self.timescale_ns}\n")
@@ -199,8 +202,8 @@ class VcdWriter(Tracer):
         w("$enddefinitions $end\n")
         w("$dumpvars\n")
         for sig in self._signals:
-            self._last[sig.vcd_id] = sig.value
-            w(_format_value(sig.value, sig.width, sig.vcd_id) + "\n")
+            self._last[sig] = sig._value
+            w(_format_value(sig._value, sig.width, sig.vcd_id) + "\n")
         w("$end\n")
 
 

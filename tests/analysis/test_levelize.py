@@ -1,0 +1,128 @@
+"""Levelization of the combinational process graph (repro.analysis)."""
+
+from repro.analysis.dataflow import levelize_comb
+from repro.kernel import Simulator
+from repro.lint.graph import DesignGraph
+
+
+def _names(level):
+    return [info.name for info in level]
+
+
+def _levelize(sim):
+    sim.elaborate()
+    return levelize_comb(DesignGraph(sim))
+
+
+def test_chain_levels_follow_dataflow_depth():
+    sim = Simulator()
+    a = sim.signal("a", width=8)
+    b = sim.signal("b", width=8)
+    c = sim.signal("c", width=8)
+    d = sim.signal("d", width=8)
+    sim.add_comb(lambda: d.drive(c.value), [c], name="pd")
+    sim.add_comb(lambda: b.drive(a.value), [a], name="pb")
+    sim.add_comb(lambda: c.drive(b.value), [b], name="pc")
+    sim.add_clocked(lambda: a.drive((a.value + 1) & 0xFF), name="tick")
+    schedule = _levelize(sim)
+    assert schedule.acyclic
+    assert [_names(level) for level in schedule.levels] == [
+        ["pb"], ["pc"], ["pd"],
+    ]
+    assert schedule.n_straight == 3
+    assert schedule.n_levels == 3
+
+
+def test_diamond_reconverges_at_deeper_level():
+    # a feeds b and c in parallel; d reads both — longest path wins.
+    sim = Simulator()
+    a = sim.signal("a", width=8)
+    b = sim.signal("b", width=8)
+    c = sim.signal("c", width=8)
+    d = sim.signal("d", width=8)
+    e = sim.signal("e", width=8)
+    sim.add_comb(lambda: b.drive(a.value), [a], name="pb")
+    sim.add_comb(lambda: c.drive(b.value), [b], name="pc")
+    sim.add_comb(lambda: d.drive(a.value), [a], name="pd")
+    sim.add_comb(lambda: e.drive((c.value + d.value) & 0xFF),
+                 [c, d], name="pe")
+    sim.add_clocked(lambda: a.drive((a.value + 1) & 0xFF), name="tick")
+    schedule = _levelize(sim)
+    assert schedule.acyclic
+    levels = [_names(level) for level in schedule.levels]
+    # pb and pd read only a (level 0); pc is level 1; pe must wait for
+    # its deepest input, pc, so it lands at level 2.
+    assert levels == [["pb", "pd"], ["pc"], ["pe"]]
+
+
+def test_feedback_pair_becomes_island():
+    sim = Simulator()
+    x = sim.signal("x", width=8)
+    y = sim.signal("y", width=8)
+    stim = sim.signal("stim", width=8)
+    # x and y feed each other (stable: both converge to stim's value).
+    sim.add_comb(lambda: x.drive(max(stim.value, y.value)),
+                 [stim, y], name="px")
+    sim.add_comb(lambda: y.drive(x.value), [x], name="py")
+    sim.add_clocked(lambda: stim.drive((stim.value + 1) & 0xFF),
+                    name="tick")
+    schedule = _levelize(sim)
+    assert not schedule.acyclic
+    assert schedule.n_straight == 0
+    assert len(schedule.islands) == 1
+    assert sorted(schedule.islands[0].names) == ["px", "py"]
+    assert schedule.islands[0].level == 0
+
+
+def test_self_loop_is_an_island_even_alone():
+    sim = Simulator()
+    x = sim.signal("x", width=8)
+    stim = sim.signal("stim", width=8)
+    # Reads and writes x: a one-process feedback loop.
+    sim.add_comb(lambda: x.drive(max(x.value, stim.value)),
+                 [x, stim], name="px")
+    sim.add_clocked(lambda: stim.drive((stim.value + 1) & 0xFF),
+                    name="tick")
+    schedule = _levelize(sim)
+    assert not schedule.acyclic
+    assert [island.names for island in schedule.islands] == [("px",)]
+
+
+def test_island_level_respects_upstream_straight_logic():
+    # straight pa feeds the island; the island's consumer pd follows it.
+    sim = Simulator()
+    a = sim.signal("a", width=8)
+    b = sim.signal("b", width=8)
+    x = sim.signal("x", width=8)
+    y = sim.signal("y", width=8)
+    d = sim.signal("d", width=8)
+    sim.add_comb(lambda: b.drive(a.value), [a], name="pa")
+    sim.add_comb(lambda: x.drive(max(b.value, y.value)), [b, y], name="px")
+    sim.add_comb(lambda: y.drive(x.value), [x], name="py")
+    sim.add_comb(lambda: d.drive(y.value), [y], name="pd")
+    sim.add_clocked(lambda: a.drive((a.value + 1) & 0xFF), name="tick")
+    schedule = _levelize(sim)
+    assert [_names(level) for level in schedule.levels] == [["pa"], [], ["pd"]]
+    assert len(schedule.islands) == 1
+    assert schedule.islands[0].level == 1
+
+
+def test_describe_is_json_friendly():
+    sim = Simulator()
+    a = sim.signal("a", width=8)
+    b = sim.signal("b", width=8)
+    sim.add_comb(lambda: b.drive(a.value), [a], name="pb")
+    sim.add_clocked(lambda: a.drive(1), name="tick")
+    schedule = _levelize(sim)
+    info = schedule.describe()
+    assert info == {"levels": [["pb"]], "islands": [], "acyclic": True}
+
+
+def test_design_with_no_comb_processes():
+    sim = Simulator()
+    a = sim.signal("a", width=8)
+    sim.add_clocked(lambda: a.drive(1), name="tick")
+    schedule = _levelize(sim)
+    assert schedule.acyclic
+    assert schedule.levels == ()
+    assert schedule.islands == ()

@@ -1,0 +1,335 @@
+"""Unit tests for the compiled levelized kernel (repro.kernel.compiled)."""
+
+import pytest
+
+from repro.kernel import (
+    ElaborationError,
+    MultipleDriverError,
+    DeltaOverflowError,
+    Simulator,
+)
+from repro.kernel.compiled import (
+    KERNELS,
+    CompiledKernel,
+    compile_simulator,
+    maybe_compile,
+)
+from repro.kernel.signal import _ElidingSignal, _FastSignal
+
+
+def _chain_sim(declare_writes=True):
+    """Clocked counter feeding a 3-deep comb chain."""
+    sim = Simulator()
+    a = sim.signal("a", width=8)
+    b = sim.signal("b", width=8)
+    c = sim.signal("c", width=8)
+    d = sim.signal("d", width=8)
+    sim.add_comb(lambda: b.drive((a.value + 1) & 0xFF), [a], name="pb")
+    sim.add_comb(lambda: c.drive((b.value + 1) & 0xFF), [b], name="pc")
+    sim.add_comb(lambda: d.drive((c.value + 1) & 0xFF), [c], name="pd")
+    kwargs = {"writes": (a,), "reads": (a,)} if declare_writes else {}
+    sim.add_clocked(lambda: a.drive((a.value + 1) & 0xFF), name="tick",
+                    **kwargs)
+    return sim, (a, b, c, d)
+
+
+def _values(signals):
+    return tuple(sig.value for sig in signals)
+
+
+def _run_both(build, cycles, **compile_kwargs):
+    """Run the same design under delta and compiled; return final values."""
+    sim_d, sigs_d = build()
+    sim_d.elaborate()
+    sim_d.run(cycles)
+    sim_c, sigs_c = build()
+    sim_c.elaborate()
+    kernel = compile_simulator(sim_c, **compile_kwargs)
+    sim_c.run(cycles)
+    return _values(sigs_d), _values(sigs_c), sim_d, sim_c, kernel
+
+
+def test_compiled_chain_matches_delta_with_zero_deltas():
+    ref, got, sim_d, sim_c, kernel = _run_both(_chain_sim, 10)
+    assert got == ref
+    assert sim_c.stat_deltas == 0
+    assert sim_d.stat_deltas > 0
+    assert kernel.fallback_cycles == 0
+    # 3 one-process levels, every one dirty every cycle.
+    assert sim_c.stat_levels_evaluated == 30
+    stats = sim_c.stats_snapshot()
+    assert stats["delta_iterations"] == 0
+    assert stats["levels_evaluated"] == 30
+
+
+def test_compiled_counts_skipped_levels_on_idle_cycles():
+    def build():
+        sim = Simulator()
+        a = sim.signal("a", width=8)
+        b = sim.signal("b", width=8)
+        sim.add_comb(lambda: b.drive(a.value), [a], name="pb")
+        # Holds a constant: after the first cycle every commit is empty.
+        sim.add_clocked(lambda: a.drive(7), name="hold",
+                        reads=(), writes=(a,))
+        return sim, (a, b)
+
+    ref, got, _, sim_c, kernel = _run_both(build, 5)
+    assert got == ref == (7, 7)
+    # Cycle 1 evaluates the level (a: 0 -> 7); the elided redundant
+    # drives of 7 afterwards commit nothing, so the remaining 4 cycles
+    # skip the level wholesale.
+    assert sim_c.stat_levels_evaluated == 1
+    assert sim_c.stat_levels_skipped == 4
+
+
+def test_dirty_cone_skips_untouched_branch():
+    def build():
+        sim = Simulator()
+        a = sim.signal("a", width=8)
+        quiet = sim.signal("quiet", width=8)
+        b = sim.signal("b", width=8)
+        q = sim.signal("q", width=8)
+        sim.add_comb(lambda: b.drive(a.value), [a], name="pb")
+        sim.add_comb(lambda: q.drive(quiet.value), [quiet], name="pq")
+        sim.add_clocked(lambda: a.drive((a.value + 1) & 0xFF), name="tick",
+                        reads=(a,), writes=(a,))
+        return sim, (a, quiet, b, q)
+
+    ref, got, _, sim_c, _ = _run_both(build, 6)
+    assert got == ref
+    # pb and pq share level 0; pq's input never toggles.  The dirty-cone
+    # check keeps its activations at zero (1 clocked + 1 comb per cycle).
+    assert sim_c.stat_activations == 12
+
+
+def test_island_design_matches_delta_and_uses_local_loop():
+    def build():
+        sim = Simulator()
+        stim = sim.signal("stim", width=8)
+        x = sim.signal("x", width=8)
+        y = sim.signal("y", width=8)
+        sim.add_comb(lambda: x.drive(max(stim.value, y.value)),
+                     [stim, y], name="px")
+        sim.add_comb(lambda: y.drive(x.value), [x], name="py")
+        sim.add_clocked(lambda: stim.drive((stim.value + 1) & 0xFF),
+                        name="tick", reads=(stim,), writes=(stim,))
+        return sim, (stim, x, y)
+
+    ref, got, sim_d, sim_c, kernel = _run_both(build, 8)
+    assert got == ref
+    assert not kernel.schedule.acyclic
+    # The feedback pair settles through the island's local delta loop.
+    assert sim_c.stat_deltas > 0
+    assert kernel.fallback_cycles == 0
+
+
+def test_unobserved_write_triggers_guarded_fallback():
+    def build():
+        sim = Simulator()
+        a = sim.signal("a", width=8)
+        b = sim.signal("b", width=8)
+        c = sim.signal("c", width=8)
+        d = sim.signal("d", width=8)
+
+        def pa():
+            b.drive(a.value)
+            if a.value == 5:
+                # Invisible to the elaboration dry run (a == 0 there):
+                # the schedule has no pa -> pc edge.
+                c.drive(1)
+
+        sim.add_comb(pa, [a], name="pa")
+        sim.add_comb(lambda: d.drive(c.value + 2), [c], name="pc")
+        sim.add_clocked(lambda: a.drive((a.value + 1) & 0xFF), name="tick",
+                        reads=(a,), writes=(a,))
+        return sim, (a, b, c, d)
+
+    ref, got, _, sim_c, kernel = _run_both(build, 8)
+    assert got == ref
+    assert got[3] == 3  # d followed the hidden write to c
+    assert kernel.fallback_cycles == 1
+
+
+def test_multiple_driver_message_identical_across_kernels():
+    def build():
+        sim = Simulator()
+        a = sim.signal("a", width=8)
+        sim.add_clocked(lambda: a.drive(1), name="first",
+                        reads=(), writes=(a,))
+        sim.add_clocked(lambda: a.drive(2), name="second",
+                        reads=(), writes=(a,))
+        return sim
+
+    messages = []
+    for compiled in (False, True):
+        sim = build()
+        sim.elaborate()
+        if compiled:
+            compile_simulator(sim)
+        with pytest.raises(MultipleDriverError) as excinfo:
+            sim.step()
+        messages.append(str(excinfo.value))
+    assert messages[0] == messages[1]
+    assert "process first" in messages[0]
+    assert "process second" in messages[0]
+
+
+def test_delta_overflow_message_identical_across_kernels():
+    def build():
+        sim = Simulator()
+        go = sim.signal("go")
+        x = sim.signal("x")
+        y = sim.signal("y")
+        # Oscillates once go is raised: x = not y, y = x.
+        sim.add_comb(lambda: x.drive((1 - y.value) if go.value else 0),
+                     [go, y], name="px")
+        sim.add_comb(lambda: y.drive(x.value), [x], name="py")
+        sim.add_clocked(lambda: go.drive(1), name="arm",
+                        reads=(), writes=(go,))
+        return sim
+
+    messages = []
+    for compiled in (False, True):
+        sim = build()
+        sim.elaborate()
+        if compiled:
+            kernel = compile_simulator(sim)
+            assert not kernel.schedule.acyclic
+        with pytest.raises(DeltaOverflowError) as excinfo:
+            sim.step()
+        messages.append(str(excinfo.value))
+    assert messages[0] == messages[1]
+    assert "did not settle" in messages[0]
+
+
+def test_elision_requires_declared_single_writer():
+    sim, (a, b, c, d) = _chain_sim(declare_writes=True)
+    sim.elaborate()
+    kernel = compile_simulator(sim)
+    assert type(a) is _ElidingSignal
+    assert kernel.elided
+    kernel.detach()
+    assert type(a) is _FastSignal
+    assert sim._compiled is None
+
+    # Without declared clocked writes the writer index is untrusted:
+    # nothing may be elided.
+    sim2, (a2, _, _, _) = _chain_sim(declare_writes=False)
+    sim2.elaborate()
+    kernel2 = compile_simulator(sim2)
+    assert kernel2.elided == ()
+    assert type(a2) is _FastSignal
+
+
+def test_multi_writer_signal_is_never_elided():
+    sim = Simulator()
+    a = sim.signal("a", width=8)
+    b = sim.signal("b", width=8)
+    sim.add_clocked(lambda: a.drive(1), name="w1", reads=(), writes=(a,))
+    sim.add_clocked(lambda: a.drive(1), name="w2", reads=(), writes=(a,))
+    sim.add_comb(lambda: b.drive(a.value), [a], name="pb")
+    sim.elaborate()
+    kernel = compile_simulator(sim)
+    assert a not in kernel.elided
+    assert type(a) is _FastSignal
+
+
+def test_timing_mode_uses_generic_path_and_matches():
+    def build():
+        return _chain_sim()
+
+    sim_d, sigs_d = _chain_sim()
+    sim_d.enable_process_timing()
+    sim_d.elaborate()
+    sim_d.run(6)
+    sim_c, sigs_c = _chain_sim()
+    sim_c.enable_process_timing()
+    sim_c.elaborate()
+    compile_simulator(sim_c)
+    sim_c.run(6)
+    assert _values(sigs_c) == _values(sigs_d)
+    times = sim_c.process_times()
+    assert set(times) == {"tick", "pb", "pc", "pd"}
+    assert times["tick"][0] == 6  # one activation per cycle
+
+
+def test_specialize_false_interpreter_matches():
+    ref, got, _, sim_c, kernel = _run_both(
+        _chain_sim, 10, specialize=False)
+    assert got == ref
+    assert sim_c.stat_deltas == 0
+    assert not kernel.specialize
+
+
+def test_dirty_cones_false_still_matches():
+    ref, got, _, sim_c, kernel = _run_both(
+        _chain_sim, 10, dirty_cones=False)
+    assert got == ref
+    assert sim_c.stat_deltas == 0
+    assert not kernel.dirty_cones
+
+
+def test_generated_source_is_kept_for_inspection():
+    sim, _ = _chain_sim()
+    sim.elaborate()
+    kernel = compile_simulator(sim)
+    assert "def cycle():" in kernel.source
+    assert "COMMIT()" in kernel.source
+
+
+def test_compile_requires_elaboration():
+    sim, _ = _chain_sim()
+    with pytest.raises(ElaborationError):
+        CompiledKernel(sim)
+
+
+def test_double_attach_rejected():
+    sim, _ = _chain_sim()
+    sim.elaborate()
+    kernel = compile_simulator(sim)
+    assert kernel.attach() is kernel  # idempotent for the same kernel
+    with pytest.raises(ElaborationError):
+        CompiledKernel(sim).attach()
+
+
+def test_maybe_compile_engine_selection():
+    assert KERNELS == ("delta", "compiled", "auto")
+    sim, _ = _chain_sim()
+    sim.elaborate()
+    assert maybe_compile(sim, "delta") is None
+    assert sim._compiled is None
+    kernel = maybe_compile(sim, "auto")
+    assert kernel is not None and sim._compiled is kernel
+    kernel.detach()
+    with pytest.raises(ValueError):
+        maybe_compile(sim, "turbo")
+
+
+def test_maybe_compile_auto_declines_island_designs():
+    sim = Simulator()
+    stim = sim.signal("stim", width=8)
+    x = sim.signal("x", width=8)
+    y = sim.signal("y", width=8)
+    sim.add_comb(lambda: x.drive(max(stim.value, y.value)),
+                 [stim, y], name="px")
+    sim.add_comb(lambda: y.drive(x.value), [x], name="py")
+    sim.add_clocked(lambda: stim.drive(1), name="tick",
+                    reads=(), writes=(stim,))
+    sim.elaborate()
+    assert maybe_compile(sim, "auto") is None
+    assert sim._compiled is None
+    # "compiled" still attaches: islands degrade, they don't disable.
+    kernel = maybe_compile(sim, "compiled")
+    assert kernel is not None and sim._compiled is kernel
+
+
+def test_describe_reports_ablation_switches():
+    sim, _ = _chain_sim()
+    sim.elaborate()
+    kernel = compile_simulator(sim, dirty_cones=False)
+    info = kernel.describe()
+    assert info["acyclic"] is True
+    assert info["dirty_cones"] is False
+    assert info["specialize"] is True
+    assert info["fallback_cycles"] == 0
+    assert info["elided_signals"] == len(kernel.elided)
