@@ -17,7 +17,7 @@ from .align import (
     compare_vcds,
 )
 from .diff import PortDiff, TransactionDiff, diff_transactions
-from .waveview import render_divergence, render_port_wave
+from .waveview import render_divergence, render_port_wave, render_signals_wave
 
 __all__ = [
     "PORT_SIGNALS",
@@ -36,5 +36,6 @@ __all__ = [
     "TransactionDiff",
     "diff_transactions",
     "render_port_wave",
+    "render_signals_wave",
     "render_divergence",
 ]

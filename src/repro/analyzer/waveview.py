@@ -22,6 +22,78 @@ def _format_value(value: int, width_hint: int) -> str:
     return f"{value:x}"
 
 
+def render_signals_wave(
+    vcd_a: Union[str, VcdFile],
+    vcd_b: Union[str, VcdFile],
+    signals: Sequence[str],
+    center_cycle: int,
+    window: int = 8,
+    labels: Sequence[str] = ("rtl", "bca"),
+    title: Optional[str] = None,
+) -> str:
+    """Render an arbitrary signal list from both dumps around a cycle.
+
+    The generalized sibling of :func:`render_port_wave`: instead of one
+    port's fixed pin set, any hierarchical signal names can be windowed —
+    the triage report uses it to excerpt the diverging fan-in cone.
+    Signals missing from either dump are skipped with a note rather than
+    rejected, since a cone legitimately spans view-private state.
+    """
+    file_a = parse_vcd(vcd_a) if isinstance(vcd_a, str) else vcd_a
+    file_b = parse_vcd(vcd_b) if isinstance(vcd_b, str) else vcd_b
+    total = min(file_a.n_cycles, file_b.n_cycles)
+    if total == 0:
+        raise ExtractionError("empty dumps")
+    first = max(0, center_cycle - window)
+    last = min(total - 1, center_cycle + window)
+    cycles = list(range(first, last + 1))
+
+    head = title or "signals"
+    lines: List[str] = [
+        f"{head}, cycles {first}..{last} (divergences marked '*'):"
+    ]
+    label_width = max([12] + [len(name) + 1 + max(len(labels[0]),
+                                                  len(labels[1]))
+                              for name in signals])
+    header = f"{'signal':<{label_width}} " \
+        + " ".join(f"{c:>5}" for c in cycles)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in signals:
+        if name not in file_a or name not in file_b:
+            missing = []
+            if name not in file_a:
+                missing.append(labels[0])
+            if name not in file_b:
+                missing.append(labels[1])
+            lines.append(
+                f"{name:<{label_width}} (not dumped in "
+                f"{'/'.join(missing)})"
+            )
+            continue
+        series_a = file_a[name].expand(last + 1, file_a.timescale)[first:]
+        series_b = file_b[name].expand(last + 1, file_b.timescale)[first:]
+        if series_a == series_b:
+            row = " ".join(
+                f"{_format_value(v, file_a[name].width):>5}"
+                for v in series_a
+            )
+            lines.append(f"{name:<{label_width}} {row}")
+            continue
+        for label, series, other in (
+            (labels[0], series_a, series_b),
+            (labels[1], series_b, series_a),
+        ):
+            cells = []
+            for v, w in zip(series, other):
+                mark = "*" if v != w else " "
+                cells.append(
+                    f"{mark}{_format_value(v, file_a[name].width):>4}")
+            lines.append(f"{name + ':' + label:<{label_width}} "
+                         + " ".join(cells))
+    return "\n".join(lines) + "\n"
+
+
 def render_port_wave(
     vcd_a: Union[str, VcdFile],
     vcd_b: Union[str, VcdFile],

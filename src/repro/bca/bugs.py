@@ -68,6 +68,9 @@ class BugInfo:
     description: str
     caught_by: str  # the primary mechanism of the common environment
     why_old_flow_misses: str
+    #: Hierarchical name of the process the mutation lives in — the
+    #: triage suspect set must contain it for localization to count.
+    mutated_process: str = ""
 
 
 BUG_CATALOG = {
@@ -76,30 +79,35 @@ BUG_CATALOG = {
         "LRU recency never refreshed at end of packet",
         "arbitration reference checker",
         "past flow drives a single initiator: arbitration never observed",
+        mutated_process="tb.dut._on_clock",
     ),
     BUG_SUBWORD_LANES: BugInfo(
         BUG_SUBWORD_LANES,
         "sub-word cells forwarded on lane 0 instead of the address lane",
         "scoreboard (request content mismatch across the node)",
         "past flow issues only full-width, word-aligned transfers",
+        mutated_process="tb.dut._on_clock",
     ),
     BUG_SRC_TRUNCATION: BugInfo(
         BUG_SRC_TRUNCATION,
         "source tag truncated to 2 bits when forwarding requests",
         "scoreboard / response matching",
         "past flow has one initiator, whose tag 0 truncates to itself",
+        mutated_process="tb.dut._on_clock",
     ),
     BUG_CHUNK_IGNORED: BugInfo(
         BUG_CHUNK_IGNORED,
         "chunk lock (lck) ignored: slave re-arbitrated inside a chunk",
         "chunk-atomicity protocol rule",
         "past flow has no contention, chunks can never be interleaved",
+        mutated_process="tb.dut._on_clock",
     ),
     BUG_PROG_STALE: BugInfo(
         BUG_PROG_STALE,
         "programming-port writes applied one packet late",
         "arbitration reference checker",
         "past flow never programs the arbiter",
+        mutated_process="tb.dut._on_clock",
     ),
 }
 

@@ -62,6 +62,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "artifact is byte-identical across engines")
     parser.add_argument("--no-compare", action="store_true",
                         help="skip the bus-accurate comparison")
+    parser.add_argument("--triage", action="store_true",
+                        help="auto-triage failed entries: locate the first "
+                             "diverging (signal, cycle) point between the "
+                             "two dumps, rank the fan-in cone suspects and "
+                             "write a triage.json minimal repro per "
+                             "failure (requires the comparison stage)")
     parser.add_argument("--skip-lint", action="store_true",
                         help="skip the static lint gate that checks both "
                              "views of every configuration before running")
@@ -153,6 +159,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.resume and not args.journal:
         print("error: --resume requires --journal FILE", file=sys.stderr)
         return 2
+    if args.triage and (args.no_compare or not args.workdir):
+        print("error: --triage needs the comparison stage "
+              "(a --workdir and no --no-compare)", file=sys.stderr)
+        return 2
     if args.max_retries < 0:
         print(f"error: --max-retries must be >= 0, got {args.max_retries}",
               file=sys.stderr)
@@ -208,6 +218,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
         unr=args.unr,
         kernel=args.kernel,
+        triage=args.triage,
     )
     try:
         report = runner.run()

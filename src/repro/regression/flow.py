@@ -115,6 +115,7 @@ class CommonVerificationFlow:
         telemetry: Optional[TelemetryConfig] = None,
         resilience: Optional["ResilienceConfig"] = None,
         kernel: str = "delta",
+        triage: bool = False,
     ):
         self.config = config
         self.tests = tests
@@ -127,6 +128,10 @@ class CommonVerificationFlow:
         self.symbolic = symbolic
         self.jobs = jobs
         self.kernel = kernel
+        #: Auto-triage failing entries each iteration; the localized
+        #: suspects are folded into the "fix the BCA model" transitions
+        #: so the fix loop starts from a named process, not a hunch.
+        self.triage = triage
         self.telemetry = (
             telemetry if telemetry is not None else TelemetryConfig()
         )
@@ -262,9 +267,30 @@ class CommonVerificationFlow:
             [self.config], tests=self.tests, seeds=self.seeds,
             workdir=self.workdir, bca_bugs=self.bca_bugs,
             jobs=self.jobs, telemetry=telemetry, resilience=resilience,
-            kernel=self.kernel,
+            kernel=self.kernel, triage=self.triage,
         )
         return runner.run().configs[0]
+
+    @staticmethod
+    def _triage_note(entries) -> str:
+        """Summarize the localized suspects of the triaged entries for a
+        fix-loop transition (empty string without triage payloads)."""
+        triaged = [e for e in entries if e.triage is not None]
+        localized = [e for e in triaged if e.triage.signal is not None]
+        if not localized:
+            return ""
+        first = localized[0].triage
+        suspects = sorted({
+            e.triage.top_suspect for e in localized
+            if e.triage.top_suspect is not None
+        })
+        note = (
+            f" (triage: first divergence {first.signal} @ cycle "
+            f"{first.cycle}"
+        )
+        if suspects:
+            note += f"; top suspect(s): {', '.join(suspects)}"
+        return note + ")"
 
     def execute(self) -> FlowOutcome:
         """Run the flow to sign-off (or give up after max_iterations)."""
@@ -291,7 +317,8 @@ class CommonVerificationFlow:
                 self._enter(
                     FlowState.MODEL_VERIFICATION,
                     f"checkers failed on {len(failed)} run(s): fix the BCA "
-                    "model and re-verify",
+                    "model and re-verify"
+                    + self._triage_note(failed),
                 )
                 self.bca_bugs = frozenset()  # the fix
                 continue
@@ -310,7 +337,8 @@ class CommonVerificationFlow:
             if report.min_alignment < SIGNOFF_THRESHOLD:
                 self._enter(
                     FlowState.MODEL_VERIFICATION,
-                    "low alignment rate: fix the BCA model and re-verify",
+                    "low alignment rate: fix the BCA model and re-verify"
+                    + self._triage_note(report.entries),
                 )
                 self.bca_bugs = frozenset()  # the fix
                 continue

@@ -81,6 +81,28 @@ class CompareJob:
     attempt: int = 0
 
 
+@dataclass(frozen=True)
+class TriageJob:
+    """One failure triage, fully described by picklable values.
+
+    Scheduled only for entries that failed (checkers or alignment); the
+    worker walks both dumps to the first divergence, ranks the fan-in
+    cone suspects and writes the ``triage.json`` minimal-repro artifact.
+    """
+
+    config: NodeConfig
+    test_name: str
+    seed: int
+    rtl_vcd: str
+    bca_vcd: str
+    out_path: Optional[str]
+    bugs: FrozenSet[str]
+    reason: str
+    telemetry: bool = False
+    submitted_at: Optional[float] = None
+    attempt: int = 0
+
+
 def write_run_reports(stem: str, result: RunResult) -> None:
     """Per-(test, seed) artifacts: "a verification report and a
     functional coverage one are generated" (Section 4).  Written
@@ -171,6 +193,39 @@ def execute_compare_job(
     return report, recorder.payload()
 
 
+def execute_triage_job(job: TriageJob) -> Tuple[
+    "TriageReport", Optional[RunTelemetry]
+]:
+    """Triage one failed entry, optionally recording telemetry.
+
+    The triage span, the ``triage.first_divergence_cycle`` /
+    ``triage.suspect_count`` counters and the ``triage.complete`` log
+    record ride back on the picklable telemetry payload.
+    """
+    from ..triage import triage_entry
+
+    if not job.telemetry:
+        report = triage_entry(
+            job.config, job.test_name, job.seed,
+            job.rtl_vcd, job.bca_vcd,
+            bugs=job.bugs, reason=job.reason, out_path=job.out_path,
+        )
+        return report, None
+    recorder = RunRecorder(
+        {"config": job.config.name, "test": job.test_name,
+         "seed": job.seed, "view": "triage"},
+        submitted_at=job.submitted_at,
+    )
+    with recorder.span("triage", **recorder.context):
+        report = triage_entry(
+            job.config, job.test_name, job.seed,
+            job.rtl_vcd, job.bca_vcd,
+            bugs=job.bugs, reason=job.reason, out_path=job.out_path,
+            telemetry=recorder.telemetry,
+        )
+    return report, recorder.payload()
+
+
 def execute_batch(
     jobs_by_key: Dict[RunKey, RunJob],
     *,
@@ -205,7 +260,7 @@ def execute_batch(
         jobs_by_key, jobs=jobs, compare_waveforms=compare_waveforms,
         telemetry=telemetry,
     )
-    results, alignments, compare_telemetry, _, _ = executor.execute()
+    results, alignments, compare_telemetry = executor.execute()[:3]
     return results, alignments, compare_telemetry
 
 

@@ -58,8 +58,10 @@ from .parallel import (
     EntryKey,
     RunJob,
     RunKey,
+    TriageJob,
     execute_compare_job,
     execute_run_job,
+    execute_triage_job,
 )
 
 #: Watchdog poll interval (seconds) for the pool scheduling loop.
@@ -161,6 +163,19 @@ def guarded_execute_compare(job: CompareJob):
         ))
 
 
+def guarded_execute_triage(job: TriageJob):
+    """Worker-side triage wrapper; a triage crash must never take down a
+    batch whose entry already failed — it degrades to an untriaged FAIL."""
+    try:
+        return ("ok", execute_triage_job(job))
+    except Exception as exc:
+        return ("fail", RunFailure.from_exception(
+            config_name=job.config.name, test_name=job.test_name,
+            seed=job.seed, view="triage", stage="triage", exc=exc,
+            attempt=job.attempt,
+        ))
+
+
 # ---------------------------------------------------------------------------
 # Configuration and fault accounting
 
@@ -202,10 +217,12 @@ class BatchFaults:
     crashes: int = 0
     timeouts: int = 0
     compare_failures: int = 0
+    triage_failures: int = 0
     pool_rebuilds: int = 0
     quarantined: List[RunFailure] = field(default_factory=list)
     resumed_runs: int = 0
     resumed_compares: int = 0
+    resumed_triages: int = 0
     stale_journal_entries: int = 0
     degraded_serial: bool = False
     #: Structured fault records for the telemetry run log.
@@ -223,10 +240,12 @@ class BatchFaults:
             "crashes": self.crashes,
             "timeouts": self.timeouts,
             "compare_failures": self.compare_failures,
+            "triage_failures": self.triage_failures,
             "pool_rebuilds": self.pool_rebuilds,
             "quarantined": len(self.quarantined),
             "resumed_runs": self.resumed_runs,
             "resumed_compares": self.resumed_compares,
+            "resumed_triages": self.resumed_triages,
             "stale_journal_entries": self.stale_journal_entries,
             "degraded_serial": self.degraded_serial,
         }
@@ -234,8 +253,9 @@ class BatchFaults:
     @property
     def clean(self) -> bool:
         return not (self.retries or self.crashes or self.timeouts
-                    or self.compare_failures or self.pool_rebuilds
-                    or self.quarantined or self.stale_journal_entries)
+                    or self.compare_failures or self.triage_failures
+                    or self.pool_rebuilds or self.quarantined
+                    or self.stale_journal_entries)
 
 
 # ---------------------------------------------------------------------------
@@ -383,6 +403,23 @@ class Journal:
             "payload": _encode_payload(report),
         })
 
+    def record_triage(self, job: TriageJob, report) -> None:
+        # An unknown-kind record is silently skipped by older replayers,
+        # so journaling triages needs no schema bump.
+        artifacts = {
+            "rtl": file_digest(job.rtl_vcd),
+            "bca": file_digest(job.bca_vcd),
+        }
+        if job.out_path:
+            artifacts["triage"] = file_digest(job.out_path)
+        self._write({
+            "kind": "triage",
+            "config": job.config.name, "test": job.test_name,
+            "seed": job.seed,
+            "artifacts": artifacts,
+            "payload": _encode_payload(report),
+        })
+
     def close(self) -> None:
         if self._handle is not None:
             self._handle.close()
@@ -403,12 +440,15 @@ def _artifacts_current(recorded: Dict[str, str],
 def replay_journal(
     entries: Sequence[dict],
     jobs_by_key: Dict[RunKey, RunJob],
-) -> Tuple[Dict[RunKey, object], Dict[EntryKey, object], int]:
+    triage_paths: Optional[Dict[EntryKey, str]] = None,
+) -> Tuple[Dict[RunKey, object], Dict[EntryKey, object],
+           Dict[EntryKey, object], int]:
     """Validate journal entries against the batch's expected artifacts.
 
     Returns the replayable run results, the replayable alignment
-    reports, and the number of stale entries (digest mismatch, missing
-    file, undecodable payload) that will be re-executed instead.
+    reports, the replayable triage reports, and the number of stale
+    entries (digest mismatch, missing file, undecodable payload) that
+    will be re-executed instead.
     """
     key_by_names: Dict[Tuple[str, str, int, str], RunKey] = {
         (job.config.name, job.test_name, job.seed, job.view): key
@@ -416,6 +456,7 @@ def replay_journal(
     }
     latest_runs: Dict[Tuple[str, str, int, str], dict] = {}
     latest_compares: Dict[Tuple[str, str, int], dict] = {}
+    latest_triages: Dict[Tuple[str, str, int], dict] = {}
     for record in entries:
         if record.get("kind") == "run":
             latest_runs[(record.get("config"), record.get("test"),
@@ -423,8 +464,12 @@ def replay_journal(
         elif record.get("kind") == "compare":
             latest_compares[(record.get("config"), record.get("test"),
                              record.get("seed"))] = record
+        elif record.get("kind") == "triage":
+            latest_triages[(record.get("config"), record.get("test"),
+                            record.get("seed"))] = record
     results: Dict[RunKey, object] = {}
     alignments: Dict[EntryKey, object] = {}
+    triages: Dict[EntryKey, object] = {}
     stale = 0
     for names, record in latest_runs.items():
         key = key_by_names.get(names)
@@ -457,7 +502,32 @@ def replay_journal(
             alignments[rtl_key[:3]] = _decode_payload(record["payload"])
         except Exception:
             stale += 1
-    return results, alignments, stale
+    for names, record in latest_triages.items():
+        rtl_key = key_by_names.get(names + ("rtl",))
+        bca_key = key_by_names.get(names + ("bca",))
+        if rtl_key is None or bca_key is None:
+            stale += 1
+            continue
+        rtl_vcd = jobs_by_key[rtl_key].vcd_path
+        bca_vcd = jobs_by_key[bca_key].vcd_path
+        if not rtl_vcd or not bca_vcd:
+            stale += 1
+            continue
+        expected = {"rtl": rtl_vcd, "bca": bca_vcd}
+        if "triage" in record.get("artifacts", {}):
+            out = (triage_paths or {}).get(rtl_key[:3])
+            if out is None:
+                stale += 1
+                continue
+            expected["triage"] = out
+        if not _artifacts_current(record.get("artifacts", {}), expected):
+            stale += 1
+            continue
+        try:
+            triages[rtl_key[:3]] = _decode_payload(record["payload"])
+        except Exception:
+            stale += 1
+    return results, alignments, triages, stale
 
 
 # ---------------------------------------------------------------------------
@@ -523,7 +593,7 @@ class _Task:
     __slots__ = ("kind", "key", "job", "failures")
 
     def __init__(self, kind: str, key: tuple, job) -> None:
-        self.kind = kind          # "run" | "compare"
+        self.kind = kind          # "run" | "compare" | "triage"
         self.key = key            # RunKey | EntryKey
         self.job = job
         self.failures: List[RunFailure] = []
@@ -534,6 +604,10 @@ class _Task:
             return {"config": self.job.config.name,
                     "test": self.job.test_name, "seed": self.job.seed,
                     "view": self.job.view}
+        if self.kind == "triage":
+            return {"config": self.job.config.name,
+                    "test": self.job.test_name, "seed": self.job.seed,
+                    "view": "triage"}
         return {"config": self.job.config_name, "test": self.job.test_name,
                 "seed": self.job.seed, "view": "compare"}
 
@@ -559,6 +633,9 @@ class ResilientBatchExecutor:
         journal: Optional[Journal] = None,
         resumed_results: Optional[Dict[RunKey, object]] = None,
         resumed_alignments: Optional[Dict[EntryKey, object]] = None,
+        triage: bool = False,
+        triage_paths: Optional[Dict[EntryKey, str]] = None,
+        resumed_triages: Optional[Dict[EntryKey, object]] = None,
         tracer=None,
     ) -> None:
         self.jobs_by_key = jobs_by_key
@@ -574,6 +651,14 @@ class ResilientBatchExecutor:
             dict(resumed_alignments or {})
         self.compare_failures: Dict[EntryKey, RunFailure] = {}
         self.compare_telemetry: Dict[EntryKey, object] = {}
+        # Failure triage rides behind the comparisons: entries that
+        # failed (checkers or alignment) get a TriageJob, everything
+        # else is untouched — a fault-free batch never schedules one.
+        self.triage = triage and compare_waveforms
+        self.triage_paths = dict(triage_paths or {})
+        self.triages: Dict[EntryKey, object] = dict(resumed_triages or {})
+        self.triage_telemetry: Dict[EntryKey, object] = {}
+        self._triaged = set(self.triages)
         self._entry_order: List[EntryKey] = []
         seen = set()
         for key in jobs_by_key:
@@ -612,6 +697,8 @@ class ResilientBatchExecutor:
         out of budget)."""
         if failure.stage == "compare":
             self.faults.compare_failures += 1
+        elif failure.stage == "triage":
+            self.faults.triage_failures += 1
         elif failure.kind == "TIMEOUT":
             self.faults.timeouts += 1
         else:
@@ -637,8 +724,10 @@ class ResilientBatchExecutor:
         )
         if task.kind == "run":
             self.results[task.key] = terminal
-        else:
+        elif task.kind == "compare":
             self.compare_failures[task.key] = terminal
+        # triage is best-effort: the entry already failed, so a terminal
+        # triage failure only lives in the fault accounting above.
         if terminal.quarantined:
             self.faults.quarantined.append(terminal)
             self.faults.note("job.quarantined", **task.names,
@@ -653,6 +742,13 @@ class ResilientBatchExecutor:
             self.results[task.key] = payload
             if self.journal is not None:
                 self.journal.record_run(task.job, payload)
+        elif task.kind == "triage":
+            report, tele = payload
+            self.triages[task.key] = report
+            if tele is not None:
+                self.triage_telemetry[task.key] = tele
+            if self.journal is not None:
+                self.journal.record_triage(task.job, report)
         else:
             report, tele = payload
             self.alignments[task.key] = report
@@ -695,10 +791,51 @@ class ResilientBatchExecutor:
         )
         return _Task("compare", entry_key, job)
 
+    def _triage_task(self, entry_key: EntryKey) -> Optional[_Task]:
+        """A triage task for ``entry_key`` if it is due: triage enabled,
+        the entry failed (checkers or alignment), both dumps real, not
+        yet triaged."""
+        if not self.triage or entry_key in self._triaged:
+            return None
+        alignment = self.alignments.get(entry_key)
+        if alignment is None:
+            return None
+        rtl = self.results.get(entry_key + ("rtl",))
+        bca = self.results.get(entry_key + ("bca",))
+        if (rtl is None or bca is None or isinstance(rtl, RunFailure)
+                or isinstance(bca, RunFailure)):
+            self._triaged.add(entry_key)
+            return None
+        checkers_failed = not (rtl.passed and bca.passed)
+        if not checkers_failed and alignment.signed_off:
+            self._triaged.add(entry_key)
+            return None
+        rtl_job = self.jobs_by_key[entry_key + ("rtl",)]
+        bca_job = self.jobs_by_key[entry_key + ("bca",)]
+        if not rtl_job.vcd_path or not bca_job.vcd_path:
+            self._triaged.add(entry_key)
+            return None
+        self._triaged.add(entry_key)
+        job = TriageJob(
+            config=rtl_job.config, test_name=entry_key[1],
+            seed=entry_key[2],
+            rtl_vcd=rtl_job.vcd_path, bca_vcd=bca_job.vcd_path,
+            out_path=self.triage_paths.get(entry_key),
+            bugs=bca_job.bugs,
+            reason="checkers-failed" if checkers_failed
+            else "low-alignment",
+            telemetry=self.telemetry,
+            submitted_at=time.time() if self.telemetry else None,
+        )
+        return _Task("triage", entry_key, job)
+
     @staticmethod
     def _worker_fn(task: _Task):
-        return guarded_execute_run if task.kind == "run" \
-            else guarded_execute_compare
+        if task.kind == "run":
+            return guarded_execute_run
+        if task.kind == "triage":
+            return guarded_execute_triage
+        return guarded_execute_compare
 
     def _pool_crash_failure(self, task: _Task) -> RunFailure:
         names = task.names
@@ -732,7 +869,8 @@ class ResilientBatchExecutor:
         else:
             self._execute_serial()
         return (self.results, self.alignments, self.compare_telemetry,
-                self.compare_failures, self.faults)
+                self.compare_failures, self.triages, self.triage_telemetry,
+                self.faults)
 
     # -- serial (and degraded) mode ----------------------------------------
 
@@ -746,6 +884,9 @@ class ResilientBatchExecutor:
                 self._run_task_blocking(
                     _Task("run", key, self.jobs_by_key[key]), isolate)
             task = self._compare_task(entry_key)
+            if task is not None:
+                self._run_task_blocking(task, isolate)
+            task = self._triage_task(entry_key)
             if task is not None:
                 self._run_task_blocking(task, isolate)
 
@@ -798,6 +939,11 @@ class ResilientBatchExecutor:
                 ready.append(_Task("run", key, job))
         for entry_key in self._entry_order:
             task = self._compare_task(entry_key)
+            if task is not None:
+                ready.append(task)
+            # Resumed entries may already carry an alignment; their
+            # triage (if due and not itself resumed) starts immediately.
+            task = self._triage_task(entry_key)
             if task is not None:
                 ready.append(task)
         backoff: List[Tuple[float, int, _Task]] = []
@@ -891,6 +1037,10 @@ class ResilientBatchExecutor:
                 compare = self._compare_task(task.key[:3])
                 if compare is not None:
                     ready.append(compare)
+            elif task.kind == "compare":
+                triage = self._triage_task(task.key)
+                if triage is not None:
+                    ready.append(triage)
             return
         delay = self._register_failure(task, payload)
         if delay is not None:
@@ -965,8 +1115,11 @@ class ResilientBatchExecutor:
         backoff.clear()
         for task in leftovers:
             self._run_task_blocking(task, True)
-        # Comparisons whose runs only now completed.
+        # Comparisons (and their triages) whose runs only now completed.
         for entry_key in self._entry_order:
             task = self._compare_task(entry_key)
+            if task is not None:
+                self._run_task_blocking(task, True)
+            task = self._triage_task(entry_key)
             if task is not None:
                 self._run_task_blocking(task, True)

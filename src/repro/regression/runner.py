@@ -60,6 +60,9 @@ class TestEntry:
     bca: RunResult
     alignment: Optional[AlignmentReport] = None
     compare_failure: Optional[RunFailure] = None
+    #: Auto-triage payload (:class:`~repro.triage.TriageReport`) attached
+    #: when the entry failed and the batch ran with ``triage=True``.
+    triage: Optional[object] = None
 
     @property
     def both_passed(self) -> bool:
@@ -223,6 +226,15 @@ class ConfigReport:
                 )
                 for item in failure.history:
                     lines.append(f"      {item}")
+        triaged = [entry for entry in self.entries
+                   if entry.triage is not None]
+        if triaged:
+            # Present only when failures were auto-triaged; fault-free
+            # (and triage-disabled) reports stay byte-identical.
+            lines.append("  Triage:")
+            for entry in triaged:
+                for line in entry.triage.render().rstrip("\n").split("\n"):
+                    lines.append("    " + line)
         return "\n".join(lines) + "\n"
 
 
@@ -299,6 +311,14 @@ class RegressionRunner:
         active — a crashed worker yields an ``ERROR`` entry instead of
         aborting the batch — and a fault-free batch stays byte-identical
         to an unguarded one.
+    triage:
+        Auto-triage failed entries: after the comparison stage, walk
+        both dumps in lockstep to the first diverging (signal, cycle)
+        point, rank the processes in its fan-in cone, and emit a
+        ``<config>__<test>__s<seed>__triage.json`` minimal repro per
+        failure; the per-config report gains a "Triage" section.  A
+        fault-free batch never schedules a triage, so its artifacts stay
+        byte-identical with the flag on or off.
     """
 
     def __init__(
@@ -315,6 +335,7 @@ class RegressionRunner:
         resilience: Optional[ResilienceConfig] = None,
         unr: bool = False,
         kernel: str = "delta",
+        triage: bool = False,
     ):
         self.configs = list(configs)
         self.tests = list(tests) if tests is not None else list(TESTCASES)
@@ -345,6 +366,12 @@ class RegressionRunner:
         #: byte-identical across engines, so it is deliberately excluded
         #: from the resume journal's batch signature.
         self.kernel = kernel
+        #: Auto-triage failed entries: walk both dumps to the first
+        #: divergence, rank the fan-in cone suspects and write a
+        #: ``triage.json`` minimal repro per failure.  Requires the
+        #: comparison stage (dumps); excluded from the batch signature —
+        #: a journaled batch may be resumed with triage toggled.
+        self.triage = triage and self.compare_waveforms
         if workdir:
             os.makedirs(workdir, exist_ok=True)
 
@@ -365,6 +392,23 @@ class RegressionRunner:
         return os.path.join(
             self.workdir, f"{config.name}__{test}__s{seed}__{view}"
         )
+
+    def _triage_path(self, config: NodeConfig, test: str,
+                     seed: int) -> Optional[str]:
+        if not self.workdir:
+            return None
+        return os.path.join(
+            self.workdir, f"{config.name}__{test}__s{seed}__triage.json"
+        )
+
+    def _triage_paths(self) -> Dict[Tuple[int, str, int], str]:
+        if not self.triage:
+            return {}
+        return {
+            (ci, test_name, seed): self._triage_path(
+                self.configs[ci], test_name, seed)
+            for ci, test_name, seed in self._entry_keys()
+        }
 
     # -- execution --------------------------------------------------------------
     #
@@ -415,11 +459,12 @@ class RegressionRunner:
             for view in ("rtl", "bca")
         }
 
-    def _open_journal(self, jobs_by_key, batch):
+    def _open_journal(self, jobs_by_key, triage_paths, batch):
         """Open/replay the checkpoint journal if one is configured.
-        Returns (journal, resumed_results, resumed_alignments, stale)."""
+        Returns (journal, resumed_results, resumed_alignments,
+        resumed_triages, stale)."""
         if not self.resilience.journal_path:
-            return None, {}, {}, 0
+            return None, {}, {}, {}, 0
         journal = Journal(self.resilience.journal_path)
         signature = batch_signature(
             self.configs, self.tests, self.seeds, self.bca_bugs,
@@ -428,17 +473,23 @@ class RegressionRunner:
         with batch.span("journal.open", resume=self.resilience.resume):
             entries = journal.start(signature, self.resilience.resume)
         if not entries:
-            return journal, {}, {}, 0
+            return journal, {}, {}, {}, 0
         with batch.span("journal.replay", entries=len(entries)):
-            results, alignments, stale = replay_journal(entries, jobs_by_key)
-        return journal, results, alignments, stale
+            results, alignments, triages, stale = replay_journal(
+                entries, jobs_by_key, triage_paths)
+        if not self.triage:
+            # Triage was toggled off since the journal was written; its
+            # replayed payloads must not resurface in the report.
+            triages = {}
+        return journal, results, alignments, triages, stale
 
     def _execute(self, batch):
         """Run the whole batch through the resilient executor (serial
         inline for ``jobs=1``, process pool otherwise)."""
         jobs_by_key = self._build_jobs()
-        journal, resumed_results, resumed_alignments, stale = \
-            self._open_journal(jobs_by_key, batch)
+        triage_paths = self._triage_paths()
+        (journal, resumed_results, resumed_alignments, resumed_triages,
+         stale) = self._open_journal(jobs_by_key, triage_paths, batch)
         executor = ResilientBatchExecutor(
             jobs_by_key,
             jobs=self.jobs,
@@ -448,15 +499,20 @@ class RegressionRunner:
             journal=journal,
             resumed_results=resumed_results,
             resumed_alignments=resumed_alignments,
+            triage=self.triage,
+            triage_paths=triage_paths,
+            resumed_triages=resumed_triages,
             tracer=batch,
         )
         executor.faults.resumed_runs = len(resumed_results)
         executor.faults.resumed_compares = len(resumed_alignments)
+        executor.faults.resumed_triages = len(resumed_triages)
         executor.faults.stale_journal_entries = stale
         if resumed_results or stale:
             executor.faults.note(
                 "journal.replayed", runs=len(resumed_results),
-                compares=len(resumed_alignments), stale=stale,
+                compares=len(resumed_alignments),
+                triages=len(resumed_triages), stale=stale,
             )
         try:
             return executor.execute()
@@ -464,9 +520,10 @@ class RegressionRunner:
             if journal is not None:
                 journal.close()
 
-    def _assemble(self, results, alignments,
-                  compare_failures=None) -> RegressionReport:
+    def _assemble(self, results, alignments, compare_failures=None,
+                  triages=None) -> RegressionReport:
         compare_failures = compare_failures or {}
+        triages = triages or {}
         report = RegressionReport()
         for ci, config in enumerate(self.configs):
             config_report = ConfigReport(config)
@@ -481,6 +538,7 @@ class RegressionRunner:
                         alignment=alignments.get((ci, test_name, seed)),
                         compare_failure=compare_failures.get(
                             (ci, test_name, seed)),
+                        triage=triages.get((ci, test_name, seed)),
                     )
                     config_report.entries.append(entry)
                     if not isinstance(entry.rtl, RunFailure):
@@ -554,7 +612,7 @@ class RegressionRunner:
             with_arbitration_checker=self.with_arbitration_checker,
             jobs=self.jobs, telemetry=self.telemetry,
             resilience=self.resilience, unr=self.unr,
-            kernel=self.kernel,
+            kernel=self.kernel, triage=self.triage,
         )
         return sub.run().configs[0]
 
@@ -562,9 +620,10 @@ class RegressionRunner:
         batch = BatchTelemetry(self.telemetry, jobs=self.jobs)
         with batch.span("batch.execute", jobs=self.jobs):
             (results, alignments, compare_telemetry, compare_failures,
-             faults) = self._execute(batch)
+             triages, triage_telemetry, faults) = self._execute(batch)
         with batch.span("batch.assemble"):
-            report = self._assemble(results, alignments, compare_failures)
+            report = self._assemble(results, alignments, compare_failures,
+                                    triages)
         report.wall_seconds = batch.stop()
         if self.workdir:
             path = os.path.join(self.workdir, "regression_summary.txt")
@@ -574,5 +633,6 @@ class RegressionRunner:
             report=report, results=results, alignments=alignments,
             compare_telemetry=compare_telemetry, configs=self.configs,
             tests=self.tests, seeds=self.seeds, faults=faults,
+            triages=triages, triage_telemetry=triage_telemetry,
         )
         return report

@@ -41,7 +41,7 @@ from .trace import (
 
 #: Span names that count as run phases in the metrics rollup.
 PHASE_NAMES = ("generate", "elaborate", "run", "finalize", "report",
-               "compare")
+               "compare", "triage")
 
 #: Bucket bounds for the per-port alignment-rate histogram.
 ALIGNMENT_BUCKETS = (0.5, 0.9, 0.95, 0.99, 0.999, 1.0)
@@ -211,6 +211,8 @@ class BatchTelemetry:
         tests,
         seeds,
         faults=None,
+        triages=None,
+        triage_telemetry=None,
     ) -> None:
         """Write metrics/trace/log side-channel files (no-op if disabled).
 
@@ -218,9 +220,18 @@ class BatchTelemetry:
         :class:`~repro.regression.resilience.BatchFaults` accounting (or
         ``None``): its counters land in the metrics ``batch.faults``
         section and its structured events in the run log.
+
+        ``triages`` maps entry keys to
+        :class:`~repro.triage.TriageReport` payloads for the entries that
+        failed and were auto-triaged; ``triage_telemetry`` carries their
+        per-triage :class:`RunTelemetry`.  Both are keyed like
+        ``alignments``.  Batches without failures pass nothing and the
+        exported files stay byte-identical to a triage-less build.
         """
         if not self.enabled:
             return
+        triages = triages or {}
+        triage_telemetry = triage_telemetry or {}
         wall = self.stop()
         run_keys = [
             (ci, test, seed, view)
@@ -238,6 +249,7 @@ class BatchTelemetry:
             self._write_metrics(
                 report, wall, run_keys, entry_keys, results, payloads,
                 alignments, compare_telemetry, configs, faults,
+                triages, triage_telemetry,
             )
         if self.config.trace_out:
             events = list(self.trace.events)
@@ -247,6 +259,10 @@ class BatchTelemetry:
                     events.extend(payload.events)
             for key in entry_keys:
                 payload = compare_telemetry.get(key)
+                if payload is not None:
+                    events.extend(payload.events)
+            for key in entry_keys:
+                payload = triage_telemetry.get(key)
                 if payload is not None:
                     events.extend(payload.events)
             tmp = self.config.trace_out + TMP_SUFFIX
@@ -260,6 +276,7 @@ class BatchTelemetry:
             self._write_log(
                 report, wall, run_keys, entry_keys, payloads,
                 compare_telemetry, configs, tests, seeds, faults,
+                triage_telemetry,
             )
 
     def _worker_lanes(
@@ -267,9 +284,15 @@ class BatchTelemetry:
         payloads: Dict[Tuple[int, str, int, str], Optional[RunTelemetry]],
         compare_telemetry: Dict[Tuple[int, str, int], RunTelemetry],
         wall: float,
+        triage_telemetry: Optional[
+            Dict[Tuple[int, str, int], RunTelemetry]] = None,
     ) -> Dict[str, dict]:
         lanes: Dict[int, dict] = {}
-        all_payloads = list(payloads.values()) + list(compare_telemetry.values())
+        all_payloads = (
+            list(payloads.values())
+            + list(compare_telemetry.values())
+            + list((triage_telemetry or {}).values())
+        )
         for payload in all_payloads:
             if payload is None:
                 continue
@@ -299,8 +322,12 @@ class BatchTelemetry:
 
     def _write_metrics(self, report, wall, run_keys, entry_keys, results,
                        payloads, alignments, compare_telemetry,
-                       configs, faults=None) -> None:
+                       configs, faults=None, triages=None,
+                       triage_telemetry=None) -> None:
         import json
+
+        triages = triages or {}
+        triage_telemetry = triage_telemetry or {}
 
         kernel_totals: Dict[str, int] = {}
         phase_totals: Dict[str, float] = {}
@@ -370,6 +397,27 @@ class BatchTelemetry:
                     merge_histogram_snapshots(
                         histograms.setdefault(name, {}), snap)
             compares.append(entry)
+        triage_rows: List[dict] = []
+        for key in entry_keys:
+            triage = triages.get(key)
+            if triage is None:
+                continue
+            ci, test, seed = key
+            entry = {
+                "config": configs[ci].name, "test": test, "seed": seed,
+                "reason": triage.reason,
+                "verdict": triage.verdict,
+                "first_divergence_signal": triage.signal,
+                "first_divergence_cycle": triage.cycle,
+                "suspect_count": len(triage.suspects),
+                "top_suspect": triage.top_suspect,
+            }
+            payload = triage_telemetry.get(key)
+            if payload is not None:
+                entry["seconds"] = round(payload.busy_seconds, 6)
+                for name, seconds in payload.phase_seconds.items():
+                    phase_totals[name] = phase_totals.get(name, 0.0) + seconds
+            triage_rows.append(entry)
         payload_out = {
             "schema": METRICS_SCHEMA,
             "batch": {
@@ -384,7 +432,7 @@ class BatchTelemetry:
                     for name, seconds in sorted(phase_totals.items())
                 },
                 "workers": self._worker_lanes(
-                    payloads, compare_telemetry, wall),
+                    payloads, compare_telemetry, wall, triage_telemetry),
             },
             "runs": runs,
             "compares": compares,
@@ -392,13 +440,26 @@ class BatchTelemetry:
         }
         if faults is not None:
             payload_out["batch"]["faults"] = faults.counters()
+        if triage_rows:
+            # Present only when failures were triaged, so fault-free
+            # batches and triage-disabled batches export byte-identical
+            # metrics files.
+            payload_out["triages"] = triage_rows
+            counters: Dict[str, int] = {}
+            for payload in triage_telemetry.values():
+                for name, value in payload.counters.items():
+                    if name.startswith("triage."):
+                        counters[name] = counters.get(name, 0) + value
+            if counters:
+                payload_out["batch"]["triage_counters"] = dict(
+                    sorted(counters.items()))
         with atomic_write(self.config.metrics_out) as handle:
             json.dump(payload_out, handle, indent=1)
             handle.write("\n")
 
     def _write_log(self, report, wall, run_keys, entry_keys, payloads,
                    compare_telemetry, configs, tests, seeds,
-                   faults=None) -> None:
+                   faults=None, triage_telemetry=None) -> None:
         tmp = self.config.log_out + TMP_SUFFIX
         logger = RunLogger(path=tmp)
         try:
@@ -416,6 +477,11 @@ class BatchTelemetry:
                         logger.write_record(record)
             for key in entry_keys:
                 payload = compare_telemetry.get(key)
+                if payload is not None:
+                    for record in payload.records:
+                        logger.write_record(record)
+            for key in entry_keys:
+                payload = (triage_telemetry or {}).get(key)
                 if payload is not None:
                     for record in payload.records:
                         logger.write_record(record)

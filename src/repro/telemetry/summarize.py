@@ -57,6 +57,15 @@ def summarize_metrics(payload: Dict[str, object], top: int = 5) -> str:
         lines.append("Kernel totals: " + "  ".join(
             f"{name}={value}" for name, value in sorted(kernel.items())
         ))
+    levels_run = int(kernel.get("levels_evaluated", 0) or 0)
+    levels_skipped = int(kernel.get("levels_skipped", 0) or 0)
+    if levels_run or levels_skipped:
+        total_levels = levels_run + levels_skipped
+        lines.append(
+            f"Compiled kernel: {levels_run} level(s) evaluated, "
+            f"{levels_skipped} skipped "
+            f"({levels_skipped / total_levels * 100:.1f}% settled)"
+        )
     phases = batch.get("phase_totals") or {}
     if phases:
         lines.append("Phase totals: " + "  ".join(
@@ -121,4 +130,28 @@ def summarize_metrics(payload: Dict[str, object], top: int = 5) -> str:
                 f"{cmp_entry['config']} {cmp_entry['test']} "
                 f"seed={cmp_entry['seed']}{seconds}"
             )
+    triages: List[dict] = list(payload.get("triages", []))
+    if triages:
+        counters = batch.get("triage_counters") or {}
+        header = f"Triaged failures: {len(triages)}"
+        if counters:
+            header += " (" + "  ".join(
+                f"{name}={value}"
+                for name, value in sorted(counters.items())) + ")"
+        lines.append(header)
+        for row in triages[:top]:
+            signal = row.get("first_divergence_signal")
+            point = (
+                f"{signal} @ cycle {row.get('first_divergence_cycle')}"
+                if signal else "no pin-visible divergence"
+            )
+            suspect = row.get("top_suspect")
+            tail = f"; top suspect {suspect}" if suspect else ""
+            lines.append(
+                f"  {row.get('config')} {row.get('test')} "
+                f"seed={row.get('seed')} [{row.get('reason')}]: "
+                f"{point}{tail}"
+            )
+        if len(triages) > top:
+            lines.append(f"  ... and {len(triages) - top} more")
     return "\n".join(lines) + "\n"

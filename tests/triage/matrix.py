@@ -1,0 +1,97 @@
+"""The bug-hunt matrix: one known-failing (config, test, seed) per
+injectable BCA bug, shared by the localization tests, the golden-file
+generator and the CI triage job.
+
+Every entry was picked empirically: on the named configuration at seed
+1 the test fails (checkers or alignment) with the bug injected, and the
+triage suspect set contains the catalog's ``mutated_process``.  The
+goldens under ``tests/golden/triage_*.json`` pin the full artifact;
+regenerate them with::
+
+    PYTHONPATH=src python tests/triage/matrix.py --write
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Tuple
+
+from repro.stbus import ArbitrationPolicy, NodeConfig
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "golden")
+
+HUNT_LRU = NodeConfig(
+    n_initiators=6, n_targets=2, arbitration=ArbitrationPolicy.LRU,
+    has_programming_port=True, name="hunt-lru",
+)
+HUNT_PROG = NodeConfig(
+    n_initiators=6, n_targets=2,
+    arbitration=ArbitrationPolicy.PROGRAMMABLE_PRIORITY,
+    has_programming_port=True, name="hunt-prog",
+)
+
+#: bug name -> (config, test name); seed is always HUNT_SEED.
+BUG_MATRIX: Dict[str, Tuple[NodeConfig, str]] = {
+    "chunk-lock-ignored": (HUNT_LRU, "t08_locked_chunks"),
+    "lru-recency-stuck": (HUNT_LRU, "t06_lru_fairness"),
+    "prog-update-stale": (HUNT_PROG, "t07_priority_reprogramming"),
+    "src-tag-truncation": (HUNT_LRU, "t02_random_uniform"),
+    "subword-lane-misplacement": (HUNT_LRU, "t09_mixed_sizes"),
+}
+HUNT_SEED = 1
+
+
+def golden_path(bug: str) -> str:
+    return os.path.join(GOLDEN_DIR, f"triage_{bug.replace('-', '_')}.json")
+
+
+def hunt_bug(bug: str, workdir: str):
+    """Run the matrix entry for ``bug`` and triage it; returns
+    (TriageReport, rtl_vcd_path, bca_vcd_path)."""
+    from repro.analyzer import compare_vcds
+    from repro.catg import run_test
+    from repro.regression.testcases import build_test
+    from repro.triage import REASON_ALIGNMENT, REASON_CHECKERS, triage_entry
+
+    config, test = BUG_MATRIX[bug]
+    seed = HUNT_SEED
+    stem = os.path.join(workdir, f"{config.name}__{test}__s{seed}")
+    rtl_path = f"{stem}__rtl.vcd"
+    bca_path = f"{stem}__bca.vcd"
+    run_test(config, build_test(test, config, seed), view="rtl",
+             vcd_path=rtl_path, with_arbitration_checker=True)
+    bca = run_test(config, build_test(test, config, seed), view="bca",
+                   bugs={bug}, vcd_path=bca_path,
+                   with_arbitration_checker=True)
+    alignment = compare_vcds(rtl_path, bca_path)
+    assert (not bca.passed) or (not alignment.signed_off), \
+        f"matrix entry for {bug} no longer fails — repick the test"
+    reason = REASON_CHECKERS if not bca.passed else REASON_ALIGNMENT
+    report = triage_entry(
+        config, test, seed, rtl_path, bca_path,
+        bugs=(bug,), reason=reason, out_path=f"{stem}__triage.json",
+    )
+    return report, rtl_path, bca_path
+
+
+def write_goldens() -> None:
+    import tempfile
+
+    for bug in sorted(BUG_MATRIX):
+        with tempfile.TemporaryDirectory() as workdir:
+            report, _, _ = hunt_bug(bug, workdir)
+        path = golden_path(bug)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"wrote {path} ({report.verdict}, "
+              f"{len(report.suspects)} suspects)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--write" not in sys.argv:
+        print("usage: python tests/triage/matrix.py --write",
+              file=sys.stderr)
+        raise SystemExit(2)
+    write_goldens()

@@ -1,0 +1,77 @@
+"""The acceptance matrix: every injectable BCA bug auto-localizes.
+
+For each catalog bug, the known-failing matrix entry is run, triaged,
+and the suspect set must contain the catalog's ``mutated_process`` —
+the process the bug actually mutates.  The full artifact is then diffed
+against the golden ``tests/golden/triage_*.json`` (CI runs the same
+diff), and the emitted analyzer repro command must reproduce the exact
+same (signal, cycle) point.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bca.bugs import BUG_CATALOG
+from repro.triage import load_triage
+
+from .matrix import BUG_MATRIX, golden_path, hunt_bug
+
+ALL_MATRIX_BUGS = sorted(BUG_MATRIX)
+
+
+def test_matrix_covers_the_whole_catalog():
+    assert set(BUG_MATRIX) == set(BUG_CATALOG)
+    for bug, info in BUG_CATALOG.items():
+        assert info.mutated_process, f"{bug} has no mutated_process tag"
+
+
+@pytest.mark.parametrize("bug", ALL_MATRIX_BUGS)
+def test_bug_localizes_to_mutated_process(bug, tmp_path):
+    report, rtl_path, bca_path = hunt_bug(bug, str(tmp_path))
+    assert report.localized
+    assert report.signal is not None and report.cycle is not None
+    mutated = BUG_CATALOG[bug].mutated_process
+    assert mutated in report.suspect_names, (
+        f"{bug}: suspect set {report.suspect_names} misses the mutated "
+        f"process {mutated}"
+    )
+    # The triage.json artifact landed next to the dumps and round-trips.
+    config, test = BUG_MATRIX[bug]
+    out = os.path.join(
+        str(tmp_path), f"{config.name}__{test}__s1__triage.json")
+    payload = load_triage(out)
+    assert payload["schema_version"] == 1
+    assert payload == report.to_dict()
+
+    # Golden diff: the artifact is byte-stable across machines/workdirs.
+    with open(golden_path(bug), "r", encoding="utf-8") as handle:
+        golden = json.load(handle)
+    assert payload == golden, (
+        f"{bug}: triage artifact diverges from the golden file — "
+        f"regenerate with PYTHONPATH=src python tests/triage/matrix.py "
+        f"--write if the change is intended"
+    )
+
+    # The emitted repro command replays to the same divergence point.
+    from repro.analyzer.cli import main as analyzer_main
+
+    assert os.path.basename(rtl_path) in report.repro["analyzer"]
+    status = analyzer_main([rtl_path, bca_path, "--first-divergence"])
+    assert status == 1
+
+
+@pytest.mark.parametrize("bug", ALL_MATRIX_BUGS)
+def test_analyzer_replay_matches_golden_point(bug, tmp_path, capsys):
+    from repro.analyzer.cli import main as analyzer_main
+
+    _, rtl_path, bca_path = hunt_bug(bug, str(tmp_path))
+    capsys.readouterr()
+    analyzer_main([rtl_path, bca_path, "--first-divergence"])
+    out = capsys.readouterr().out
+    with open(golden_path(bug), "r", encoding="utf-8") as handle:
+        golden = json.load(handle)
+    first = golden["first_divergence"]
+    assert (f"first divergence: {first['signal']} @ cycle "
+            f"{first['cycle']}") in out

@@ -1,0 +1,134 @@
+"""Edge-case tests for the VCD lockstep walk (first-divergence search).
+
+These pin the design notes in :mod:`repro.triage.divergence`: signals
+missing from one dump are skipped (not faulted), declaration order is
+irrelevant, ``x``/``z`` digits compare as 0 exactly as the analyzer
+treats them, and dumps of different lengths are compared over the
+shorter one.
+"""
+
+from repro.triage import SignalDivergence, find_first_divergence
+from repro.vcd import parse_vcd
+
+HEADER = """$timescale 10ns $end
+$scope module tb $end
+$var wire 1 ! a $end
+$var wire 4 " b [3:0] $end
+$upscope $end
+$enddefinitions $end
+"""
+
+
+def _vcd(body: str, header: str = HEADER):
+    return parse_vcd(header + body)
+
+
+def test_identical_dumps_do_not_diverge():
+    body = "#0\n0!\nb0010 \"\n#10\n1!\n#20\n0!\n"
+    scan = find_first_divergence(_vcd(body), _vcd(body))
+    assert not scan.diverged
+    assert scan.first is None
+    assert scan.compared == ("tb.a", "tb.b")
+    assert not scan.truncated
+    assert "no divergence" in scan.summary()
+
+
+def test_first_divergence_is_earliest_cycle():
+    a = _vcd("#0\n0!\nb0010 \"\n#10\n1!\n#20\n0!\n#30\n1!\n")
+    b = _vcd("#0\n0!\nb0010 \"\n#10\n1!\n#20\n1!\n#30\n1!\n")
+    scan = find_first_divergence(a, b)
+    assert scan.diverged
+    assert scan.first == SignalDivergence("tb.a", 2, 0, 1)
+    assert scan.mismatch_counts == {"tb.a": 1}
+    assert "tb.a @ cycle 2" in scan.summary()
+
+
+def test_same_cycle_tie_broken_by_name():
+    # Both signals split at cycle 1: the name-wise minimum wins and the
+    # whole split set is reported.
+    a = _vcd("#0\n0!\nb0000 \"\n#10\n0!\nb0000 \"\n#20\n0!\n")
+    b = _vcd("#0\n0!\nb0000 \"\n#10\n1!\nb0001 \"\n#20\n0!\n")
+    scan = find_first_divergence(a, b)
+    assert scan.first.signal == "tb.a"
+    assert scan.first.cycle == 1
+    assert [d.signal for d in scan.at_first_cycle] == ["tb.a", "tb.b"]
+    assert "+1 more signal(s)" in scan.summary()
+
+
+def test_view_private_signals_are_skipped_not_compared():
+    other = HEADER.replace('$var wire 4 " b [3:0] $end',
+                           '$var wire 4 " c [3:0] $end')
+    a = _vcd("#0\n0!\nb0010 \"\n#10\n1!\n")
+    b = _vcd("#0\n0!\nb0111 \"\n#10\n1!\n", header=other)
+    scan = find_first_divergence(a, b)
+    # tb.b/tb.c differ wildly but are one-sided: never walked.
+    assert not scan.diverged
+    assert scan.compared == ("tb.a",)
+    assert scan.only_in_a == ("tb.b",)
+    assert scan.only_in_b == ("tb.c",)
+
+
+def test_declaration_order_is_irrelevant():
+    swapped = ('$timescale 10ns $end\n'
+               '$scope module tb $end\n'
+               '$var wire 4 " b [3:0] $end\n'
+               '$var wire 1 ! a $end\n'
+               '$upscope $end\n'
+               '$enddefinitions $end\n')
+    body = "#0\n1!\nb0110 \"\n#10\n0!\n"
+    scan = find_first_divergence(_vcd(body), _vcd(body, header=swapped))
+    assert not scan.diverged
+    assert scan.compared == ("tb.a", "tb.b")
+
+
+def test_x_values_compare_as_zero():
+    # The parser maps x/z digits to 0; an X in one dump against a hard 0
+    # in the other is agreement, matching the analyzer's own comparison.
+    a = _vcd("#0\n0!\nb0000 \"\n#10\nx!\nbxx00 \"\n#20\n0!\n")
+    b = _vcd("#0\n0!\nb0000 \"\n#10\n0!\nb0000 \"\n#20\n0!\n")
+    scan = find_first_divergence(a, b)
+    assert not scan.diverged
+    # ...but an X against a hard 1 is a real divergence.
+    c = _vcd("#0\n0!\nb0000 \"\n#10\n1!\nb0000 \"\n#20\n0!\n")
+    scan2 = find_first_divergence(a, c)
+    assert scan2.diverged
+    assert scan2.first.signal == "tb.a"
+    assert (scan2.first.a_value, scan2.first.b_value) == (0, 1)
+
+
+def test_truncated_tail_is_not_a_divergence():
+    # The longer dump's tail is absence of evidence: the walk covers the
+    # shorter dump and flags the truncation instead of inventing a split.
+    short = _vcd("#0\n0!\nb0010 \"\n#10\n1!\n")
+    long = _vcd("#0\n0!\nb0010 \"\n#10\n1!\n#20\n0!\n#30\n1!\n")
+    scan = find_first_divergence(short, long)
+    assert not scan.diverged
+    assert scan.truncated
+    assert scan.total_cycles == short.n_cycles
+    # A divergence inside the shared prefix is still found.
+    long_bad = _vcd("#0\n0!\nb0011 \"\n#10\n1!\n#20\n0!\n")
+    scan2 = find_first_divergence(short, long_bad)
+    assert scan2.diverged
+    assert scan2.truncated
+    assert scan2.first.signal == "tb.b"
+    assert scan2.first.cycle == 0
+
+
+def test_signal_whitelist_restricts_the_walk():
+    a = _vcd("#0\n0!\nb0000 \"\n#10\n0!\nb0001 \"\n#20\n0!\n")
+    b = _vcd("#0\n0!\nb0000 \"\n#10\n1!\nb0000 \"\n#20\n0!\n")
+    scan = find_first_divergence(a, b, signals=["tb.b", "tb.ghost"])
+    assert scan.compared == ("tb.b",)
+    assert scan.first.signal == "tb.b"
+    # The whitelisted-but-absent name is classified, not faulted.
+    assert "tb.ghost" not in scan.only_in_a + scan.only_in_b
+
+
+def test_paths_and_parsed_files_are_interchangeable(tmp_path):
+    body = "#0\n0!\nb0010 \"\n#10\n1!\n"
+    path = tmp_path / "dump.vcd"
+    path.write_text(HEADER + body)
+    from_path = find_first_divergence(str(path), str(path))
+    from_parsed = find_first_divergence(_vcd(body), _vcd(body))
+    assert from_path.compared == from_parsed.compared
+    assert from_path.total_cycles == from_parsed.total_cycles
