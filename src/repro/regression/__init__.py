@@ -22,6 +22,7 @@ from .resilience import (
     ResilienceConfig,
     RunFailure,
 )
+from .distributed import DistributedBatchExecutor, DistributedConfig
 
 __all__ = [
     "configuration_matrix",
@@ -45,4 +46,6 @@ __all__ = [
     "JournalError",
     "ResilienceConfig",
     "RunFailure",
+    "DistributedBatchExecutor",
+    "DistributedConfig",
 ]

@@ -17,7 +17,21 @@ Spec grammar (semicolon-separated rules)::
   - ``exit``         ``os._exit(42)`` (kills the worker ⇒ broken pool),
   - ``hang``         sleep far past any sane deadline (watchdog food),
   - ``truncate-vcd`` let the run succeed, then corrupt its VCD so the
-    compare stage fails on a truncated dump.
+    compare stage fails on a truncated dump,
+  - ``worker-kill``  ``os._exit(43)`` — a farm scheduler OOM-killing or
+    pre-empting a remote worker mid-job (the distributed coordinator
+    sees a dead connection and re-leases the job),
+  - ``net-drop``     complete the run but drop the connection before
+    the result frame goes out (a network partition: the work happened,
+    the coordinator never learns),
+  - ``net-delay``    complete the run, then sit on the result frame for
+    :data:`NET_DELAY_SECONDS` (lease-expiry food: the coordinator
+    reclaims the job and must discard the late result),
+  - ``net-corrupt-frame`` complete the run but flip a byte inside the
+    result frame, so the coordinator's framing layer rejects it,
+  - ``cache-corrupt`` let the run succeed and be stored, then flip a
+    byte inside its result-cache entry so the next lookup must detect
+    the corruption, quarantine the entry and re-execute.
 
 * ``CONFIG``/``TEST``/``SEED``/``VIEW`` — match fields for one
   (config, test, seed, view) run; ``*`` matches anything.
@@ -40,11 +54,26 @@ from typing import Optional, Tuple
 #: Environment variable holding the chaos spec.
 CHAOS_ENV = "REPRO_CHAOS"
 
-CHAOS_MODES = ("crash", "exit", "hang", "truncate-vcd")
+CHAOS_MODES = ("crash", "exit", "hang", "truncate-vcd", "worker-kill",
+               "net-drop", "net-delay", "net-corrupt-frame",
+               "cache-corrupt")
+
+#: The modes the in-process run hooks act on (everything a pool worker
+#: can suffer); the net/cache faults live in their own hooks so one
+#: rule never shadows another hook's modes.
+EXEC_MODES = ("crash", "exit", "hang", "worker-kill")
+
+#: Network-fault modes, applied by the distributed worker around its
+#: result frame.
+NET_MODES = ("net-drop", "net-delay", "net-corrupt-frame")
 
 #: How long a ``hang`` sleeps; far beyond any test deadline, far below
 #: a CI job timeout.
 HANG_SECONDS = 600.0
+
+#: How long ``net-delay`` sits on a result frame — longer than any test
+#: lease, far below a CI job timeout.
+NET_DELAY_SECONDS = 3.0
 
 
 class ChaosError(ValueError):
@@ -114,8 +143,12 @@ class ChaosSpec:
         return cls.parse(text)
 
     def rule_for(self, config: str, test: str, seed: int, view: str,
-                 attempt: int) -> Optional[ChaosRule]:
+                 attempt: int,
+                 modes: Optional[Tuple[str, ...]] = None,
+                 ) -> Optional[ChaosRule]:
         for rule in self.rules:
+            if modes is not None and rule.mode not in modes:
+                continue
             if rule.matches(config, test, seed, view, attempt):
                 return rule
         return None
@@ -135,7 +168,8 @@ def _corrupt_vcd(path: str) -> None:
 def inject_before_run(job) -> None:
     """Fault hook at the top of a guarded run job (worker side)."""
     rule = ChaosSpec.from_env().rule_for(
-        job.config.name, job.test_name, job.seed, job.view, job.attempt)
+        job.config.name, job.test_name, job.seed, job.view, job.attempt,
+        modes=EXEC_MODES)
     if rule is None:
         return
     if rule.mode == "crash":
@@ -145,6 +179,8 @@ def inject_before_run(job) -> None:
         )
     if rule.mode == "exit":
         os._exit(42)
+    if rule.mode == "worker-kill":
+        os._exit(43)
     if rule.mode == "hang":
         time.sleep(HANG_SECONDS)
 
@@ -152,6 +188,42 @@ def inject_before_run(job) -> None:
 def inject_after_run(job) -> None:
     """Fault hook after a run job completed (worker side)."""
     rule = ChaosSpec.from_env().rule_for(
-        job.config.name, job.test_name, job.seed, job.view, job.attempt)
-    if rule is not None and rule.mode == "truncate-vcd" and job.vcd_path:
+        job.config.name, job.test_name, job.seed, job.view, job.attempt,
+        modes=("truncate-vcd",))
+    if rule is not None and job.vcd_path:
         _corrupt_vcd(job.vcd_path)
+
+
+def net_rule_for(job) -> Optional[ChaosRule]:
+    """The network fault (if any) a distributed worker must apply to
+    this job's result frame.  ``None`` in every production batch."""
+    return ChaosSpec.from_env().rule_for(
+        job.config.name, job.test_name, job.seed, job.view,
+        getattr(job, "attempt", 0), modes=NET_MODES)
+
+
+def _flip_byte(path: str, offset: int = -1) -> None:
+    """Flip one byte of ``path`` in place (default: in the middle)."""
+    size = os.path.getsize(path)
+    if not size:
+        return
+    position = size // 2 if offset < 0 else min(offset, size - 1)
+    with open(path, "r+b") as handle:
+        handle.seek(position)
+        byte = handle.read(1)
+        handle.seek(position)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+
+
+def inject_after_cache_store(job, entry_path: Optional[str]) -> None:
+    """Fault hook after a run's result was published to the result
+    cache (coordinator side): ``cache-corrupt`` flips one byte of the
+    just-written entry so the *next* lookup exercises the
+    verify-quarantine-reexecute path."""
+    if entry_path is None:
+        return
+    rule = ChaosSpec.from_env().rule_for(
+        job.config.name, job.test_name, job.seed, job.view,
+        getattr(job, "attempt", 0), modes=("cache-corrupt",))
+    if rule is not None:
+        _flip_byte(entry_path)

@@ -15,16 +15,24 @@ signed off.
 from __future__ import annotations
 
 import argparse
+import os
+import signal
 import sys
 from typing import List, Optional
 
 from ..bca import ALL_BUGS
+from ..cache import CACHE_DIR_ENV
 from ..stbus import ConfigError
 from ..telemetry import RunLogger, TelemetryConfig
 from .configs import load_config_dir
 from .resilience import JournalError, ResilienceConfig
 from .runner import RegressionRunner
 from .testcases import TESTCASES
+
+
+def _raise_interrupt(signum, frame) -> None:
+    """SIGTERM handler: funnel into the KeyboardInterrupt abort path."""
+    raise KeyboardInterrupt()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -109,6 +117,29 @@ def build_parser() -> argparse.ArgumentParser:
                             help="replay completed runs from --journal "
                                  "and execute only the remainder "
                                  "(requires --journal)")
+    cluster = parser.add_argument_group(
+        "distributed execution and result cache",
+        "Shard the batch across leased worker processes and/or serve "
+        "repeated runs from a content-addressed result cache.  Either "
+        "way every artifact stays byte-identical to a plain local "
+        "batch.",
+    )
+    cluster.add_argument("--workers", type=int, default=0, metavar="N",
+                         help="distributed worker processes (spawned as "
+                              "python -m repro.regression.worker over "
+                              "loopback TCP); 0 (default) keeps the "
+                              "batch local; if no worker is reachable "
+                              "the batch degrades to local execution "
+                              "with a warning")
+    cluster.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="root of the content-addressed result "
+                              "cache; verified hits replay runs without "
+                              "simulating, corrupt entries are "
+                              "quarantined and re-executed (default: "
+                              "$REPRO_CACHE_DIR if set)")
+    cluster.add_argument("--no-cache", action="store_true",
+                         help="disable the result cache even when "
+                              "REPRO_CACHE_DIR is set")
     telemetry = parser.add_argument_group(
         "telemetry",
         "Side-channel observability files; none of them changes a "
@@ -167,6 +198,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: --max-retries must be >= 0, got {args.max_retries}",
               file=sys.stderr)
         return 2
+    if args.workers < 0:
+        print(f"error: --workers must be >= 0, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    if args.cache_dir and args.no_cache:
+        print("error: --cache-dir conflicts with --no-cache",
+              file=sys.stderr)
+        return 2
     if args.run_timeout is not None and args.run_timeout <= 0:
         print(f"error: --run-timeout must be > 0, got {args.run_timeout}",
               file=sys.stderr)
@@ -195,6 +234,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .parallel import default_jobs
 
         jobs = default_jobs()
+    cache_dir = args.cache_dir
+    if cache_dir is None and not args.no_cache:
+        cache_dir = os.environ.get(CACHE_DIR_ENV) or None
     runner = RegressionRunner(
         configs,
         tests=args.tests,
@@ -219,7 +261,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         unr=args.unr,
         kernel=args.kernel,
         triage=args.triage,
+        workers=args.workers,
+        cache_dir=cache_dir,
     )
+    # A farm scheduler evicts with SIGTERM, an operator with Ctrl-C;
+    # both deserve the same clean abort: the journal is flushed per
+    # record, so everything completed so far is resumable.
+    previous_term = None
+    try:
+        previous_term = signal.signal(signal.SIGTERM, _raise_interrupt)
+    except ValueError:
+        pass  # not the main thread (embedded use); SIGINT still works
     try:
         report = runner.run()
     except JournalError as exc:
@@ -232,6 +284,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         print(f"interrupted: batch aborted{hint}", file=sys.stderr)
         return 130
+    finally:
+        if previous_term is not None:
+            signal.signal(signal.SIGTERM, previous_term)
     print(report.render(), end="")
     # Timing goes to stderr as a structured record so stdout (and the
     # summary artifact) stay byte-identical between serial and parallel

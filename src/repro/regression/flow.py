@@ -98,6 +98,13 @@ class CommonVerificationFlow:
     the same way; a configured checkpoint journal is likewise tagged per
     iteration (``journal.iter2.jsonl``) so resuming an interrupted
     iteration never replays a previous one.
+
+    ``workers``/``cache_dir`` thread straight into every regression the
+    flow runs: with workers the iterations execute on the distributed
+    leased-worker service, and with a cache the later iterations reuse
+    every run whose coordinates an earlier one already simulated (the
+    fix loop re-runs only what the fix invalidated — BCA entries key on
+    their bug set, the RTL entries hit the cache unchanged).
     """
 
     def __init__(
@@ -116,6 +123,8 @@ class CommonVerificationFlow:
         resilience: Optional["ResilienceConfig"] = None,
         kernel: str = "delta",
         triage: bool = False,
+        workers: int = 0,
+        cache_dir: Optional[str] = None,
     ):
         self.config = config
         self.tests = tests
@@ -128,6 +137,8 @@ class CommonVerificationFlow:
         self.symbolic = symbolic
         self.jobs = jobs
         self.kernel = kernel
+        self.workers = workers
+        self.cache_dir = cache_dir
         #: Auto-triage failing entries each iteration; the localized
         #: suspects are folded into the "fix the BCA model" transitions
         #: so the fix loop starts from a named process, not a hunch.
@@ -268,6 +279,7 @@ class CommonVerificationFlow:
             workdir=self.workdir, bca_bugs=self.bca_bugs,
             jobs=self.jobs, telemetry=telemetry, resilience=resilience,
             kernel=self.kernel, triage=self.triage,
+            workers=self.workers, cache_dir=self.cache_dir,
         )
         return runner.run().configs[0]
 

@@ -225,6 +225,13 @@ class BatchFaults:
     resumed_triages: int = 0
     stale_journal_entries: int = 0
     degraded_serial: bool = False
+    # Distributed-cluster accounting (all zero for local batches).
+    lease_reclaims: int = 0
+    worker_deaths: int = 0
+    worker_respawns: int = 0
+    #: No distributed worker was reachable; the batch ran on the local
+    #: resilient executor instead.
+    degraded_local: bool = False
     #: Structured fault records for the telemetry run log.
     events: List[dict] = field(default_factory=list)
 
@@ -248,6 +255,10 @@ class BatchFaults:
             "resumed_triages": self.resumed_triages,
             "stale_journal_entries": self.stale_journal_entries,
             "degraded_serial": self.degraded_serial,
+            "lease_reclaims": self.lease_reclaims,
+            "worker_deaths": self.worker_deaths,
+            "worker_respawns": self.worker_respawns,
+            "degraded_local": self.degraded_local,
         }
 
     @property
@@ -255,7 +266,8 @@ class BatchFaults:
         return not (self.retries or self.crashes or self.timeouts
                     or self.compare_failures or self.triage_failures
                     or self.pool_rebuilds or self.quarantined
-                    or self.stale_journal_entries)
+                    or self.stale_journal_entries or self.lease_reclaims
+                    or self.worker_deaths)
 
 
 # ---------------------------------------------------------------------------
@@ -637,6 +649,7 @@ class ResilientBatchExecutor:
         triage_paths: Optional[Dict[EntryKey, str]] = None,
         resumed_triages: Optional[Dict[EntryKey, object]] = None,
         tracer=None,
+        cache=None,
     ) -> None:
         self.jobs_by_key = jobs_by_key
         self.jobs = jobs
@@ -645,6 +658,10 @@ class ResilientBatchExecutor:
         self.config = config if config is not None else ResilienceConfig()
         self.journal = journal
         self.tracer = tracer
+        #: Optional :class:`repro.cache.ResultCache`; when set, run
+        #: tasks are satisfied from the store where possible and every
+        #: fresh result is published back to it.
+        self.cache = cache
         self.faults = BatchFaults()
         self.results: Dict[RunKey, object] = dict(resumed_results or {})
         self.alignments: Dict[EntryKey, object] = \
@@ -737,11 +754,37 @@ class ResilientBatchExecutor:
                              kind=terminal.kind, error=terminal.describe())
         return None
 
-    def _complete(self, task: _Task, payload) -> None:
+    def _satisfy_from_cache(self, task: _Task, ready) -> bool:
+        """Try to complete a run task from the result cache.
+
+        On a verified hit the artifacts are materialized, the result is
+        journaled and completed exactly as an executed run would be, and
+        (when ``ready`` is a queue) the entry's comparison is scheduled.
+        A miss — including a quarantined corrupt entry — returns False
+        and the task executes normally.
+        """
+        if self.cache is None or task.kind != "run":
+            return False
+        result = self.cache.load(task.job, run_artifact_paths(task.job))
+        if result is None:
+            return False
+        self._complete(task, result, from_cache=True)
+        if ready is not None:
+            compare = self._compare_task(task.key[:3])
+            if compare is not None:
+                ready.append(compare)
+        return True
+
+    def _complete(self, task: _Task, payload,
+                  from_cache: bool = False) -> None:
         if task.kind == "run":
             self.results[task.key] = payload
             if self.journal is not None:
                 self.journal.record_run(task.job, payload)
+            if self.cache is not None and not from_cache:
+                entry_path = self.cache.store(
+                    task.job, payload, run_artifact_paths(task.job))
+                chaos.inject_after_cache_store(task.job, entry_path)
         elif task.kind == "triage":
             report, tele = payload
             self.triages[task.key] = report
@@ -891,6 +934,8 @@ class ResilientBatchExecutor:
                 self._run_task_blocking(task, isolate)
 
     def _run_task_blocking(self, task: _Task, isolate: bool) -> None:
+        if self._satisfy_from_cache(task, None):
+            return
         fn = self._worker_fn(task)
         while True:
             job = self._job_for_attempt(task)
@@ -960,6 +1005,9 @@ class ResilientBatchExecutor:
                 submit_failed = False
                 while ready and not self._degraded:
                     task = ready[0]
+                    if self._satisfy_from_cache(task, ready):
+                        ready.popleft()
+                        continue
                     job = self._job_for_attempt(task)
                     try:
                         future = pool.submit(self._worker_fn(task), job)

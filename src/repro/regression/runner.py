@@ -319,6 +319,23 @@ class RegressionRunner:
         failure; the per-config report gains a "Triage" section.  A
         fault-free batch never schedules a triage, so its artifacts stay
         byte-identical with the flag on or off.
+    workers:
+        Distributed worker processes.  ``0`` (default) keeps the batch
+        local; ``N > 0`` shards the jobs across N leased loopback
+        workers (``python -m repro.regression.worker``), degrading to
+        the local executor when none is reachable.  Artifacts are
+        byte-identical to a local batch at any worker count.
+    cache_dir:
+        Root of the content-addressed result cache
+        (:class:`~repro.cache.ResultCache`).  ``None`` disables
+        caching.  A verified hit replays the run's artifacts byte-
+        for-byte without simulating; corrupt entries are quarantined
+        and re-executed, never served.
+    distributed:
+        Optional
+        :class:`~repro.regression.distributed.DistributedConfig`
+        overriding the cluster knobs (lease/heartbeat/respawn budget);
+        implies ``workers`` from its own field when given.
     """
 
     def __init__(
@@ -336,6 +353,9 @@ class RegressionRunner:
         unr: bool = False,
         kernel: str = "delta",
         triage: bool = False,
+        workers: int = 0,
+        cache_dir: Optional[str] = None,
+        distributed=None,
     ):
         self.configs = list(configs)
         self.tests = list(tests) if tests is not None else list(TESTCASES)
@@ -372,6 +392,18 @@ class RegressionRunner:
         #: comparison stage (dumps); excluded from the batch signature —
         #: a journaled batch may be resumed with triage toggled.
         self.triage = triage and self.compare_waveforms
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if distributed is not None:
+            workers = distributed.workers
+        #: Distributed worker count (0 = local execution).
+        self.workers = workers
+        self.distributed = distributed
+        #: Result-cache root (None = caching disabled).  The
+        #: :class:`~repro.cache.ResultCache` itself is created per
+        #: :meth:`run` so its hit/miss accounting is per-batch.
+        self.cache_dir = cache_dir
+        self.cache = None
         if workdir:
             os.makedirs(workdir, exist_ok=True)
 
@@ -483,14 +515,37 @@ class RegressionRunner:
             triages = {}
         return journal, results, alignments, triages, stale
 
+    def _make_executor(self, jobs_by_key, **kwargs):
+        """The resilient executor for this batch: local (serial or
+        pool) by default, the leased-worker coordinator when a
+        distributed worker count is set."""
+        if self.workers > 0:
+            from .distributed import (
+                DistributedBatchExecutor,
+                DistributedConfig,
+            )
+
+            cluster = self.distributed or DistributedConfig(
+                workers=self.workers)
+            return DistributedBatchExecutor(
+                jobs_by_key, distributed=cluster, **kwargs)
+        return ResilientBatchExecutor(jobs_by_key, **kwargs)
+
     def _execute(self, batch):
         """Run the whole batch through the resilient executor (serial
-        inline for ``jobs=1``, process pool otherwise)."""
+        inline for ``jobs=1``, process pool otherwise, leased workers
+        when distributed)."""
         jobs_by_key = self._build_jobs()
         triage_paths = self._triage_paths()
         (journal, resumed_results, resumed_alignments, resumed_triages,
          stale) = self._open_journal(jobs_by_key, triage_paths, batch)
-        executor = ResilientBatchExecutor(
+        if self.cache_dir:
+            from ..cache import ResultCache
+
+            self.cache = ResultCache(self.cache_dir)
+        else:
+            self.cache = None
+        executor = self._make_executor(
             jobs_by_key,
             jobs=self.jobs,
             compare_waveforms=self.compare_waveforms,
@@ -503,6 +558,7 @@ class RegressionRunner:
             triage_paths=triage_paths,
             resumed_triages=resumed_triages,
             tracer=batch,
+            cache=self.cache,
         )
         executor.faults.resumed_runs = len(resumed_results)
         executor.faults.resumed_compares = len(resumed_alignments)
@@ -613,6 +669,8 @@ class RegressionRunner:
             jobs=self.jobs, telemetry=self.telemetry,
             resilience=self.resilience, unr=self.unr,
             kernel=self.kernel, triage=self.triage,
+            workers=self.workers, cache_dir=self.cache_dir,
+            distributed=self.distributed,
         )
         return sub.run().configs[0]
 
@@ -634,5 +692,6 @@ class RegressionRunner:
             compare_telemetry=compare_telemetry, configs=self.configs,
             tests=self.tests, seeds=self.seeds, faults=faults,
             triages=triages, triage_telemetry=triage_telemetry,
+            cache=self.cache,
         )
         return report

@@ -213,6 +213,7 @@ class BatchTelemetry:
         faults=None,
         triages=None,
         triage_telemetry=None,
+        cache=None,
     ) -> None:
         """Write metrics/trace/log side-channel files (no-op if disabled).
 
@@ -220,6 +221,11 @@ class BatchTelemetry:
         :class:`~repro.regression.resilience.BatchFaults` accounting (or
         ``None``): its counters land in the metrics ``batch.faults``
         section and its structured events in the run log.
+
+        ``cache`` is the batch's :class:`~repro.cache.ResultCache` (or
+        ``None``): its hit/miss/store/verify counters land in the
+        metrics ``batch.cache`` section and its structured events
+        (including quarantine diagnostics) in the run log.
 
         ``triages`` maps entry keys to
         :class:`~repro.triage.TriageReport` payloads for the entries that
@@ -249,7 +255,7 @@ class BatchTelemetry:
             self._write_metrics(
                 report, wall, run_keys, entry_keys, results, payloads,
                 alignments, compare_telemetry, configs, faults,
-                triages, triage_telemetry,
+                triages, triage_telemetry, cache,
             )
         if self.config.trace_out:
             events = list(self.trace.events)
@@ -276,7 +282,7 @@ class BatchTelemetry:
             self._write_log(
                 report, wall, run_keys, entry_keys, payloads,
                 compare_telemetry, configs, tests, seeds, faults,
-                triage_telemetry,
+                triage_telemetry, cache,
             )
 
     def _worker_lanes(
@@ -323,7 +329,7 @@ class BatchTelemetry:
     def _write_metrics(self, report, wall, run_keys, entry_keys, results,
                        payloads, alignments, compare_telemetry,
                        configs, faults=None, triages=None,
-                       triage_telemetry=None) -> None:
+                       triage_telemetry=None, cache=None) -> None:
         import json
 
         triages = triages or {}
@@ -440,6 +446,10 @@ class BatchTelemetry:
         }
         if faults is not None:
             payload_out["batch"]["faults"] = faults.counters()
+        if cache is not None:
+            # Present only when a result cache was configured, so
+            # cache-less batches export byte-identical metrics files.
+            payload_out["batch"]["cache"] = cache.stats.counters()
         if triage_rows:
             # Present only when failures were triaged, so fault-free
             # batches and triage-disabled batches export byte-identical
@@ -459,7 +469,8 @@ class BatchTelemetry:
 
     def _write_log(self, report, wall, run_keys, entry_keys, payloads,
                    compare_telemetry, configs, tests, seeds,
-                   faults=None, triage_telemetry=None) -> None:
+                   faults=None, triage_telemetry=None,
+                   cache=None) -> None:
         tmp = self.config.log_out + TMP_SUFFIX
         logger = RunLogger(path=tmp)
         try:
@@ -487,6 +498,9 @@ class BatchTelemetry:
                         logger.write_record(record)
             if faults is not None:
                 for event in faults.events:
+                    logger.write_record(dict(event))
+            if cache is not None:
+                for event in cache.events:
                     logger.write_record(dict(event))
             logger.log(
                 "batch.complete",
