@@ -19,12 +19,17 @@ process at a time), this package reasons about *flows*:
   lift process bodies to a bitvector IR, prove per-port functional
   RTL≡BCA equivalence, and upgrade the UNR decode verdicts with the
   exact interval-coverage engine;
+* :mod:`~repro.analysis.impact` — static change-impact analysis:
+  per-process semantic fingerprints, the schema-versioned design
+  fingerprint manifest + differ, fan-out-cone change closure, and the
+  cone-scoped cache keys behind ``repro.regression --incremental``;
 * :mod:`~repro.analysis.waivers` — the waiver format shared with
   ``repro.lint``.
 
 CLI: ``python -m repro.analysis`` (text/JSON; same waiver files as
-``repro.lint``).  The regression tool exposes the UNR half as the
-opt-in ``--unr`` gate.
+``repro.lint``) and ``python -m repro.analysis impact`` (fingerprint
+manifests and change-impact reports).  The regression tool exposes the
+UNR half as the opt-in ``--unr`` gate.
 
 Only :mod:`~repro.analysis.waivers` is imported eagerly — it is a leaf
 module that ``repro.lint.diagnostics`` re-exports, and loading the full
@@ -70,6 +75,17 @@ _LAZY = {
     "analyze_simulator": "runner",
     "analyze_config": "runner",
     "resolve_analysis_rules": "runner",
+    "MANIFEST_SCHEMA": "impact",
+    "DesignManifest": "impact",
+    "DesignFingerprints": "impact",
+    "ProcessFingerprint": "impact",
+    "ImpactIndex": "impact",
+    "ImpactReport": "impact",
+    "ManifestError": "impact",
+    "build_manifest": "impact",
+    "design_fingerprints": "impact",
+    "diff_manifests": "impact",
+    "process_fingerprint": "impact",
 }
 
 __all__ = [

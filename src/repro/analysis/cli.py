@@ -11,6 +11,9 @@ Examples::
     # the *.cfg files of a configuration directory, races only
     python -m repro.analysis configs/ --rules race-delta-overwrite
 
+    # change-impact analysis against a fingerprint baseline
+    python -m repro.analysis impact --matrix --baseline baseline.json
+
 Waiver files use the same dialect as ``repro.lint`` (one
 ``<rule-glob> <location-glob> [# reason]`` per line); one file can waive
 findings of both tools.
@@ -134,6 +137,13 @@ def _gate(has_errors: bool, has_warnings: bool, strict: bool) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "impact":
+        # Change-impact analysis is a distinct sub-tool with its own
+        # argument surface (manifests in/out rather than rule gating).
+        from .impact_cli import main as impact_main
+
+        return impact_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 

@@ -81,9 +81,11 @@ _DESIGN_HASH: Optional[str] = None
 def design_source_hash(roots: Sequence[str] = DESIGN_ROOTS) -> str:
     """SHA-256 over every ``*.py`` file of the design-defining subtrees.
 
-    Hashed as ``relpath NUL content NUL`` in sorted order, so renames,
-    additions and edits all change the hash, while a rebuild from
-    identical sources reproduces it anywhere.
+    Hashed as ``relpath NUL content NUL`` in an explicitly sorted walk
+    (directories and files both), with ``__pycache__`` trees and
+    compiled ``*.pyc`` files skipped and line endings normalized to
+    ``\\n``, so renames, additions and edits all change the hash while a
+    checkout of identical sources reproduces it on any platform.
     """
     global _DESIGN_HASH
     if roots == DESIGN_ROOTS and _DESIGN_HASH is not None:
@@ -93,16 +95,19 @@ def design_source_hash(roots: Sequence[str] = DESIGN_ROOTS) -> str:
     for root in roots:
         root_dir = os.path.join(package_dir, root)
         for dirpath, dirnames, filenames in os.walk(root_dir):
-            dirnames.sort()
+            dirnames[:] = sorted(
+                d for d in dirnames if d != "__pycache__")
             for name in sorted(filenames):
-                if not name.endswith(".py"):
+                if not name.endswith(".py") or name.endswith(".pyc"):
                     continue
                 full = os.path.join(dirpath, name)
                 rel = os.path.relpath(full, package_dir)
-                digest.update(rel.encode("utf-8"))
+                digest.update(rel.replace(os.sep, "/").encode("utf-8"))
                 digest.update(b"\0")
                 with open(full, "rb") as handle:
-                    digest.update(handle.read())
+                    data = handle.read()
+                digest.update(
+                    data.replace(b"\r\n", b"\n").replace(b"\r", b"\n"))
                 digest.update(b"\0")
     value = digest.hexdigest()
     if roots == DESIGN_ROOTS:
@@ -205,9 +210,16 @@ class ResultCache:
     by construction (unique temp files + atomic rename, last-wins).
     """
 
-    def __init__(self, root: str, design: Optional[str] = None) -> None:
+    def __init__(self, root: str, design: Optional[str] = None,
+                 design_resolver=None) -> None:
         self.root = root
         self._design = design
+        #: Optional per-job design-key resolver (``job -> hash``), used
+        #: by incremental regression to substitute a cone-scoped key
+        #: (see :mod:`repro.analysis.impact`) for the monolithic
+        #: design-source hash.  When unset, every job keys on
+        #: ``design`` (default: the design-source hash).
+        self._design_resolver = design_resolver
         self.stats = CacheStats()
         #: Structured events (hit/miss/store/quarantine) for the
         #: telemetry run log; drained by the batch exporter.
@@ -221,8 +233,14 @@ class ResultCache:
             self._design = design_source_hash()
         return self._design
 
+    def design_for(self, job) -> str:
+        """The design-key component of ``job``'s cache key."""
+        if self._design_resolver is not None:
+            return self._design_resolver(job)
+        return self.design
+
     def key_for(self, job) -> str:
-        return cache_key(job, design=self.design)
+        return cache_key(job, design=self.design_for(job))
 
     def entry_path(self, key: str) -> str:
         return os.path.join(self.root, "objects", key[:2], f"{key}.json")
@@ -254,6 +272,11 @@ class ResultCache:
                     blobs[role] = _encode_blob(handle.read())
         except OSError:
             return None
+        # Key components are recorded alongside the entry so cache
+        # invalidation is diagnosable (`python -m repro.cache explain`):
+        # the config *digest* rather than its full text keeps the entry
+        # small while still pinpointing which component diverged.
+        job.config.resolved_map
         body = {
             "schema": CACHE_SCHEMA,
             "key": key,
@@ -262,6 +285,16 @@ class ResultCache:
                 "test": job.test_name,
                 "seed": job.seed,
                 "view": job.view,
+            },
+            "key_inputs": {
+                "design": self.design_for(job),
+                "config_sha256": hashlib.sha256(
+                    job.config.to_text().encode("utf-8")).hexdigest(),
+                "test": job.test_name,
+                "seed": job.seed,
+                "view": job.view,
+                "bugs": sorted(job.bugs) if job.view == "bca" else [],
+                "with_arbitration_checker": job.with_arbitration_checker,
             },
             "payload": _encode_blob(pickle.dumps(clean, protocol=4)),
             "artifacts": blobs,
@@ -305,25 +338,25 @@ class ResultCache:
             with open(path, "rb") as handle:
                 raw = handle.read()
         except OSError:
-            self._miss(key, job)
+            self._miss(key, job, "no-entry")
             return None
         entry, reason, detail = self._verify(key, raw)
         if entry is None:
             self._quarantine(key, path, reason, detail)
-            self._miss(key, job)
+            self._miss(key, job, f"quarantined:{reason}")
             return None
         if not set(artifacts) <= set(entry["artifacts"]):
             # A valid entry stored by a batch that dumped fewer
             # artifacts (e.g. no workdir) cannot satisfy this request;
             # not corruption, just insufficient — plain miss.
-            self._miss(key, job)
+            self._miss(key, job, "insufficient-artifacts")
             return None
         try:
             result = pickle.loads(_decode_blob(entry["payload"]))
         except Exception as exc:
             self._quarantine(key, path, "payload-undecodable",
                              f"{type(exc).__name__}: {exc}")
-            self._miss(key, job)
+            self._miss(key, job, "quarantined:payload-undecodable")
             return None
         for role, out_path in sorted(artifacts.items()):
             data = _decode_blob(entry["artifacts"][role])
@@ -381,10 +414,13 @@ class ResultCache:
             return None, "schema-mismatch", "entry body is incomplete"
         return entry, None, None
 
-    def _miss(self, key: str, job) -> None:
+    def _miss(self, key: str, job, reason: str = "no-entry") -> None:
+        """Count and log one miss, with attribution: ``no-entry`` (cold
+        or key changed), ``insufficient-artifacts``, or
+        ``quarantined:<verify reason>``."""
         self.stats.misses += 1
         self.events.append({
-            "event": "cache.miss", "key": key,
+            "event": "cache.miss", "key": key, "reason": reason,
             "config": job.config.name, "test": job.test_name,
             "seed": job.seed, "view": job.view,
         })

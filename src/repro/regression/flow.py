@@ -105,6 +105,10 @@ class CommonVerificationFlow:
     every run whose coordinates an earlier one already simulated (the
     fix loop re-runs only what the fix invalidated — BCA entries key on
     their bug set, the RTL entries hit the cache unchanged).
+    ``incremental=True`` additionally keys the cache on cone-scoped
+    semantic fingerprints (:mod:`repro.analysis.impact`), so across
+    *source* edits only the entries the edit's fan-out cone can affect
+    re-execute.
     """
 
     def __init__(
@@ -125,6 +129,7 @@ class CommonVerificationFlow:
         triage: bool = False,
         workers: int = 0,
         cache_dir: Optional[str] = None,
+        incremental: bool = False,
     ):
         self.config = config
         self.tests = tests
@@ -139,6 +144,13 @@ class CommonVerificationFlow:
         self.kernel = kernel
         self.workers = workers
         self.cache_dir = cache_dir
+        if incremental and not cache_dir:
+            raise ValueError(
+                "incremental=True requires a result cache (cache_dir)")
+        #: Cone-scoped semantic cache keys for every iteration's batch:
+        #: across checkouts, only the entries a source edit's fan-out
+        #: cone can affect re-execute (see repro.analysis.impact).
+        self.incremental = incremental
         #: Auto-triage failing entries each iteration; the localized
         #: suspects are folded into the "fix the BCA model" transitions
         #: so the fix loop starts from a named process, not a hunch.
@@ -280,6 +292,7 @@ class CommonVerificationFlow:
             jobs=self.jobs, telemetry=telemetry, resilience=resilience,
             kernel=self.kernel, triage=self.triage,
             workers=self.workers, cache_dir=self.cache_dir,
+            incremental=self.incremental,
         )
         return runner.run().configs[0]
 

@@ -336,6 +336,15 @@ class RegressionRunner:
         :class:`~repro.regression.distributed.DistributedConfig`
         overriding the cluster knobs (lease/heartbeat/respawn budget);
         implies ``workers`` from its own field when given.
+    incremental:
+        Key cache entries on cone-scoped semantic fingerprints
+        (:class:`~repro.analysis.impact.ImpactIndex`) instead of the
+        monolithic design-source hash, so a warm cache survives
+        comment-only/formatting edits and edits to processes a design
+        does not instantiate; everything a change can affect still
+        re-executes (conservative fallbacks, never stale).  Requires
+        ``cache_dir``.  Both the populating and the consuming batch
+        must run incrementally for the refined keys to match.
     """
 
     def __init__(
@@ -356,6 +365,7 @@ class RegressionRunner:
         workers: int = 0,
         cache_dir: Optional[str] = None,
         distributed=None,
+        incremental: bool = False,
     ):
         self.configs = list(configs)
         self.tests = list(tests) if tests is not None else list(TESTCASES)
@@ -404,6 +414,15 @@ class RegressionRunner:
         #: :meth:`run` so its hit/miss accounting is per-batch.
         self.cache_dir = cache_dir
         self.cache = None
+        if incremental and not cache_dir:
+            raise ValueError(
+                "incremental regression requires a result cache "
+                "(cache_dir)")
+        #: Cone-scoped semantic cache keys (see
+        #: :mod:`repro.analysis.impact`); the index itself is built per
+        #: :meth:`run` so its fingerprints reflect the batch's configs.
+        self.incremental = incremental
+        self.impact = None
         if workdir:
             os.makedirs(workdir, exist_ok=True)
 
@@ -542,7 +561,20 @@ class RegressionRunner:
         if self.cache_dir:
             from ..cache import ResultCache
 
-            self.cache = ResultCache(self.cache_dir)
+            resolver = None
+            if self.incremental:
+                from ..analysis.impact import ImpactIndex
+
+                with batch.span("impact.index",
+                                configs=len(self.configs)):
+                    self.impact = ImpactIndex(self.configs)
+                resolver = self.impact.resolver()
+            self.cache = ResultCache(
+                self.cache_dir, design_resolver=resolver)
+            if self.impact is not None:
+                # The per-design key decisions ride the cache's event
+                # stream into the telemetry run log.
+                self.cache.events.extend(self.impact.events)
         else:
             self.cache = None
         executor = self._make_executor(
@@ -670,7 +702,7 @@ class RegressionRunner:
             resilience=self.resilience, unr=self.unr,
             kernel=self.kernel, triage=self.triage,
             workers=self.workers, cache_dir=self.cache_dir,
-            distributed=self.distributed,
+            distributed=self.distributed, incremental=self.incremental,
         )
         return sub.run().configs[0]
 
@@ -692,6 +724,6 @@ class RegressionRunner:
             compare_telemetry=compare_telemetry, configs=self.configs,
             tests=self.tests, seeds=self.seeds, faults=faults,
             triages=triages, triage_telemetry=triage_telemetry,
-            cache=self.cache,
+            cache=self.cache, impact=self.impact,
         )
         return report

@@ -214,6 +214,7 @@ class BatchTelemetry:
         triages=None,
         triage_telemetry=None,
         cache=None,
+        impact=None,
     ) -> None:
         """Write metrics/trace/log side-channel files (no-op if disabled).
 
@@ -226,6 +227,13 @@ class BatchTelemetry:
         ``None``): its hit/miss/store/verify counters land in the
         metrics ``batch.cache`` section and its structured events
         (including quarantine diagnostics) in the run log.
+
+        ``impact`` is the incremental batch's
+        :class:`~repro.analysis.impact.ImpactIndex` (or ``None``): its
+        fingerprint/fallback counters land in the metrics
+        ``batch.impact`` section (its per-design key events ride the
+        cache event stream).  Non-incremental batches pass nothing and
+        export byte-identical metrics files.
 
         ``triages`` maps entry keys to
         :class:`~repro.triage.TriageReport` payloads for the entries that
@@ -255,7 +263,7 @@ class BatchTelemetry:
             self._write_metrics(
                 report, wall, run_keys, entry_keys, results, payloads,
                 alignments, compare_telemetry, configs, faults,
-                triages, triage_telemetry, cache,
+                triages, triage_telemetry, cache, impact,
             )
         if self.config.trace_out:
             events = list(self.trace.events)
@@ -329,7 +337,8 @@ class BatchTelemetry:
     def _write_metrics(self, report, wall, run_keys, entry_keys, results,
                        payloads, alignments, compare_telemetry,
                        configs, faults=None, triages=None,
-                       triage_telemetry=None, cache=None) -> None:
+                       triage_telemetry=None, cache=None,
+                       impact=None) -> None:
         import json
 
         triages = triages or {}
@@ -450,6 +459,9 @@ class BatchTelemetry:
             # Present only when a result cache was configured, so
             # cache-less batches export byte-identical metrics files.
             payload_out["batch"]["cache"] = cache.stats.counters()
+        if impact is not None:
+            # Present only for incremental batches, same rationale.
+            payload_out["batch"]["impact"] = impact.counters()
         if triage_rows:
             # Present only when failures were triaged, so fault-free
             # batches and triage-disabled batches export byte-identical
